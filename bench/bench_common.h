@@ -1,0 +1,105 @@
+// Shared plumbing for the figure-reproduction binaries.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "cluster/experiment.h"
+#include "metrics/report.h"
+#include "workload/scenario.h"
+
+namespace adaptbf::bench {
+
+/// Runs a scenario under all three policies, in the paper's order.
+struct PolicyRuns {
+  ExperimentResult none;
+  ExperimentResult static_bw;
+  ExperimentResult adaptive;
+};
+
+/// Writes `table` as CSV into $ADAPTBF_CSV_DIR/<name>.csv when that
+/// environment variable is set; silently does nothing otherwise. Lets CI
+/// or plotting scripts collect every figure's raw series.
+inline void maybe_write_csv(const Table& table, const std::string& name) {
+  const char* dir = std::getenv("ADAPTBF_CSV_DIR");
+  if (dir == nullptr || *dir == '\0') return;
+  const std::string path = std::string(dir) + "/" + name + ".csv";
+  if (!table.write_csv(path))
+    std::fprintf(stderr, "warning: could not write %s\n", path.c_str());
+}
+
+inline PolicyRuns run_all_policies(ScenarioSpec (*make)(BwControl),
+                                   const ExperimentOptions& options = {}) {
+  PolicyRuns runs;
+  std::fprintf(stderr, "  running No BW ...\n");
+  runs.none = run_experiment(make(BwControl::kNone), options);
+  std::fprintf(stderr, "  running Static BW ...\n");
+  runs.static_bw = run_experiment(make(BwControl::kStatic), options);
+  std::fprintf(stderr, "  running AdapTBF ...\n");
+  runs.adaptive = run_experiment(make(BwControl::kAdaptive), options);
+  return runs;
+}
+
+inline PolicySummary summarize(const ExperimentResult& result) {
+  PolicySummary summary;
+  summary.policy = std::string(to_string(result.control));
+  for (const auto& job : result.jobs)
+    summary.per_job_mibps.push_back(job.mean_mibps);
+  summary.aggregate_mibps = result.aggregate_mibps;
+  return summary;
+}
+
+/// Prints the three per-policy timelines (the paper's subplots a/b/c).
+inline void print_timelines(const PolicyRuns& runs, const char* figure,
+                            std::size_t points = 24) {
+  const auto labels = runs.adaptive.job_labels();
+  const auto none = timeline_table(runs.none.timeline, runs.none.horizon,
+                                   labels, points);
+  const auto static_bw = timeline_table(runs.static_bw.timeline,
+                                        runs.static_bw.horizon, labels,
+                                        points);
+  const auto adaptive = timeline_table(runs.adaptive.timeline,
+                                       runs.adaptive.horizon, labels, points);
+  std::printf("%s\n",
+              none.to_string(std::string(figure) + "(a)  No BW").c_str());
+  std::printf("%s\n",
+              static_bw.to_string(std::string(figure) + "(b)  Static BW")
+                  .c_str());
+  std::printf("%s\n",
+              adaptive.to_string(std::string(figure) + "(c)  AdapTBF")
+                  .c_str());
+  maybe_write_csv(none, std::string(figure) + "_no_bw");
+  maybe_write_csv(static_bw, std::string(figure) + "_static_bw");
+  maybe_write_csv(adaptive, std::string(figure) + "_adaptbf");
+}
+
+/// Prints the per-job bandwidth comparison and gain/loss tables (the
+/// paper's (a)/(b) result subfigures).
+inline void print_summaries(const PolicyRuns& runs, const char* figure) {
+  const auto labels = runs.adaptive.job_labels();
+  const auto none = summarize(runs.none);
+  const auto static_bw = summarize(runs.static_bw);
+  const auto adaptive = summarize(runs.adaptive);
+  const auto summary = bandwidth_summary_table(labels,
+                                               {none, static_bw, adaptive});
+  std::printf("%s\n",
+              summary
+                  .to_string(std::string(figure) +
+                             "(a)  Achieved I/O bandwidth per job")
+                  .c_str());
+  maybe_write_csv(summary, std::string(figure) + "_summary");
+  std::printf("%s\n",
+              gain_loss_table(labels, adaptive, none)
+                  .to_string(std::string(figure) +
+                             "(b)  AdapTBF gain/loss vs No BW")
+                  .c_str());
+  std::printf("%s\n",
+              gain_loss_table(labels, adaptive, static_bw)
+                  .to_string(std::string(figure) +
+                             "(b')  AdapTBF gain/loss vs Static BW")
+                  .c_str());
+}
+
+}  // namespace adaptbf::bench

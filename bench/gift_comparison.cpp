@@ -1,0 +1,55 @@
+// Extension bench: AdapTBF vs a GIFT-style comparator (§IV-C discussion).
+//
+// The paper argues GIFT is the closest prior system but excludes it from
+// evaluation because (a) it ignores job priorities and (b) its centralized
+// control adds coordination overhead. With both mechanisms implemented
+// here we can measure those two contrasts directly on the §IV-E workload
+// (bursty high-priority jobs vs a continuous low-priority stream):
+//
+//  * GIFT gives every active job an equal share, so the 30%-priority
+//    bursty jobs receive no preference over the 10% streamer;
+//  * AdapTBF weights by compute allocation and still work-conserves.
+#include "bench_common.h"
+#include "support/table.h"
+#include "workload/scenarios_paper.h"
+
+using namespace adaptbf;
+using namespace adaptbf::bench;
+
+int main() {
+  std::printf("=== Extension — GIFT-style comparator on the §IV-E workload "
+              "===\n\n");
+  ExperimentOptions options;
+  options.capture_allocation_trace = false;
+
+  Table table({"policy", "Job1-3 (bursty, 30%% prio) MiB/s",
+               "Job4 (cont., 10%% prio) MiB/s", "Aggregate MiB/s",
+               "burst p99 latency (ms)"});
+  for (BwControl control : {BwControl::kNone, BwControl::kGift,
+                            BwControl::kAdaptive}) {
+    auto spec = scenario_token_redistribution(control);
+    std::fprintf(stderr, "  running %s ...\n",
+                 std::string(to_string(control)).c_str());
+    const auto result = run_experiment(spec, options);
+    double high = 0.0;
+    double worst_p99 = 0.0;
+    for (std::uint32_t id = 1; id <= 3; ++id) {
+      high += result.find_job(JobId(id))->mean_mibps;
+      worst_p99 = std::max(
+          worst_p99, result.latency.total_latency(JobId(id)).p99_ms);
+    }
+    table.add_row({std::string(to_string(control)), fmt_fixed(high, 1),
+                   fmt_fixed(result.find_job(JobId(4))->mean_mibps, 1),
+                   fmt_fixed(result.aggregate_mibps, 1),
+                   fmt_fixed(worst_p99, 1)});
+  }
+  std::printf("%s\n",
+              table.to_string("Priority awareness under burst pressure")
+                  .c_str());
+  std::printf(
+      "Expected shape: GIFT keeps utilization high but treats the bursty\n"
+      "30%%-priority jobs no better than the 10%% streamer (equal shares);\n"
+      "AdapTBF clears their bursts at the priority-weighted rate, visible\n"
+      "in the burst jobs' p99 latency.\n");
+  return 0;
+}

@@ -1,0 +1,163 @@
+// TBF administration shell: drive a live simulated OST with the same
+// command language Lustre admins use for `nrs_tbf_rule`.
+//
+// Reads commands from stdin (or a script via shell redirection):
+//
+//   start <name> [jobid={..}] [nid={..}] [opcode={..}] rate=<r> [depth=] [rank=]
+//   change <name> rate=<r> [rank=<k>]
+//   stop <name>
+//   load job=<id> procs=<n> rpcs=<n>     # attach a streaming workload
+//   run <seconds>                        # advance simulated time
+//   rules                                # list active rules + stats
+//   stats                                # per-job completion counters
+//   quit
+//
+// Example session (also exercised by `make test` via tests/integration):
+//
+//   $ ./tbf_shell <<'EOS'
+//   load job=1 procs=4 rpcs=10000
+//   load job=2 procs=4 rpcs=10000
+//   run 2
+//   start limit_j1 jobid={1} rate=20
+//   run 5
+//   rules
+//   stats
+//   quit
+//   EOS
+#include <cstdio>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "client/client_system.h"
+#include "support/table.h"
+#include "support/units.h"
+#include "tbf/rule_parser.h"
+#include "tbf/tbf_scheduler.h"
+
+using namespace adaptbf;
+
+namespace {
+
+bool parse_load(std::istringstream& args, std::uint32_t& job,
+                std::uint32_t& procs, std::uint64_t& rpcs) {
+  job = 0;
+  procs = 1;
+  rpcs = 1024;
+  std::string token;
+  while (args >> token) {
+    const auto eq = token.find('=');
+    if (eq == std::string::npos) return false;
+    const std::string key = token.substr(0, eq);
+    const std::string value = token.substr(eq + 1);
+    try {
+      if (key == "job") {
+        job = static_cast<std::uint32_t>(std::stoul(value));
+      } else if (key == "procs") {
+        procs = static_cast<std::uint32_t>(std::stoul(value));
+      } else if (key == "rpcs") {
+        rpcs = std::stoull(value);
+      } else {
+        return false;
+      }
+    } catch (...) {
+      return false;
+    }
+  }
+  return job != 0 && procs > 0;
+}
+
+}  // namespace
+
+int main() {
+  Simulator sim;
+  Ost::Config ost_config;
+  ost_config.num_threads = 16;
+  ost_config.disk.seq_bandwidth = mib_per_sec(800);
+  auto scheduler_owned = std::make_unique<TbfScheduler>();
+  TbfScheduler& tbf = *scheduler_owned;
+  Ost ost(sim, ost_config, std::move(scheduler_owned));
+  ClientSystem clients(sim);
+  clients.attach_ost(ost);
+
+  std::printf("tbf_shell: simulated OST at 800 MiB/s, 16 I/O threads. "
+              "'help' for commands.\n");
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    std::istringstream stream(line);
+    std::string verb;
+    if (!(stream >> verb) || verb[0] == '#') continue;
+
+    if (verb == "quit" || verb == "exit") break;
+    if (verb == "help") {
+      std::printf("commands: start/change/stop (TBF rules), "
+                  "load job=N procs=N rpcs=N, run <sec>, rules, stats, "
+                  "quit\n");
+      continue;
+    }
+    if (verb == "start" || verb == "change" || verb == "stop") {
+      const std::string error = apply_rule_command(tbf, line, sim.now());
+      std::printf(error.empty() ? "ok\n" : "error: %s\n", error.c_str());
+      continue;
+    }
+    if (verb == "load") {
+      std::uint32_t job = 0, procs = 0;
+      std::uint64_t rpcs = 0;
+      if (!parse_load(stream, job, procs, rpcs)) {
+        std::printf("error: usage load job=N [procs=N] [rpcs=N]\n");
+        continue;
+      }
+      for (std::uint32_t p = 0; p < procs; ++p) {
+        ProcessStream::Config config;
+        config.job = JobId(job);
+        config.nid = Nid(job);
+        config.process_index = p;
+        auto& process = clients.add_process(
+            ost, config,
+            std::make_unique<ContinuousPattern>(rpcs, SimDuration(0)));
+        process.start();
+      }
+      std::printf("ok: job %u now streaming from %u process(es)\n", job,
+                  procs);
+      continue;
+    }
+    if (verb == "run") {
+      double seconds = 0.0;
+      if (!(stream >> seconds) || seconds <= 0.0) {
+        std::printf("error: usage run <seconds>\n");
+        continue;
+      }
+      sim.run_until(sim.now() + SimDuration::from_seconds(seconds));
+      std::printf("ok: now t=%s, %llu RPCs completed\n",
+                  to_string(sim.now()).c_str(),
+                  static_cast<unsigned long long>(ost.completed_rpcs()));
+      continue;
+    }
+    if (verb == "rules") {
+      Table table({"rule", "arrived", "served", "rate changes"});
+      for (const auto& name : tbf.active_rules()) {
+        const RuleStats* stats = tbf.rule_stats(name);
+        table.add_row({name, fmt_count(stats->arrived),
+                       fmt_count(stats->served),
+                       fmt_count(stats->rate_changes)});
+      }
+      std::printf("%s", table.to_string("Active TBF rules").c_str());
+      continue;
+    }
+    if (verb == "stats") {
+      Table table({"job", "issued", "completed", "MiB done"});
+      for (JobId job : ost.job_stats().jobs_ever_seen()) {
+        const auto* c = ost.job_stats().cumulative(job);
+        table.add_row({std::to_string(job.value()),
+                       fmt_count(c->rpcs_issued),
+                       fmt_count(c->rpcs_completed),
+                       fmt_fixed(to_mib(c->bytes_completed), 0)});
+      }
+      std::printf("%s", table.to_string("Per-job I/O").c_str());
+      continue;
+    }
+    std::printf("error: unknown command '%s' (try 'help')\n", verb.c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Data types flowing through the token allocation algorithm.
+//
+// Field names mirror the paper's notation (Table I): p priority, d demand,
+// u utilization, α allocation (initial / after redistribution RD / after
+// re-compensation RC), r record, ρ remainder, T_s surplus, T_R reclaimed.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "rpc/rpc.h"
+#include "sim/time.h"
+
+namespace adaptbf {
+
+/// Per-job input for one observation window: what the System Stats
+/// Controller hands the allocator (§III-B).
+struct JobWindowInput {
+  JobId job;
+  std::uint32_t nodes = 1;  ///< n_x: allocated compute nodes.
+  double demand = 0.0;      ///< d_x: RPCs issued during the window.
+};
+
+/// Per-job output of one allocation window, with every intermediate kept
+/// for tests, traces (Fig. 7) and the ablation benches.
+struct JobAllocation {
+  JobId job;
+  double priority = 0.0;            ///< p_x (eq. 1)
+  double demand = 0.0;              ///< d_x
+  double utilization = 0.0;         ///< u_x (eq. 3)
+  double initial = 0.0;             ///< α_x^t (eq. 2)
+  double surplus = 0.0;             ///< T_s^x (eq. 4)
+  double after_redistribution = 0.0;  ///< α_RD (eq. 7)
+  double record_after_redistribution = 0.0;  ///< r_RD (eq. 8)
+  double reclaimed = 0.0;           ///< T_R^x taken FROM this job (eq. 14)
+  double compensated = 0.0;         ///< share of T_R granted TO this job (eq. 19)
+  double after_recompensation = 0.0;  ///< α_RC (eqs. 15/19)
+  std::int64_t tokens = 0;          ///< Final integer allocation (eq. 23-25)
+  double rate = 0.0;                ///< tokens / Δt, the TBF rule rate
+  double record_after = 0.0;        ///< r after the window
+  double remainder_after = 0.0;     ///< ρ after the window
+};
+
+/// Result of one full allocation window on one OST.
+struct WindowResult {
+  SimTime when;
+  double total_tokens = 0.0;        ///< T_i * Δt
+  double surplus_total = 0.0;       ///< T_s (eq. 5)
+  double reclaim_total = 0.0;       ///< T_R (eq. 17)
+  double reclaim_coefficient = 0.0; ///< C (eq. 13, clamped)
+  std::vector<JobAllocation> jobs;  ///< Ascending JobId order.
+
+  [[nodiscard]] const JobAllocation* find(JobId job) const {
+    for (const auto& j : jobs)
+      if (j.job == job) return &j;
+    return nullptr;
+  }
+};
+
+}  // namespace adaptbf

@@ -1,0 +1,136 @@
+#include "adaptbf/gift_controller.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/check.h"
+
+namespace adaptbf {
+
+GiftController::GiftController(
+    Simulator& sim, std::vector<std::pair<Ost*, TbfScheduler*>> targets,
+    Config config)
+    : sim_(sim), targets_(std::move(targets)), config_(config) {
+  ADAPTBF_CHECK_MSG(!targets_.empty(), "GIFT needs at least one target");
+  ADAPTBF_CHECK(config_.total_rate > 0.0);
+  ADAPTBF_CHECK(config_.dt > SimDuration(0));
+  ADAPTBF_CHECK(config_.redemption_fraction >= 0.0 &&
+                config_.redemption_fraction <= 1.0);
+  daemons_.reserve(targets_.size());
+  for (auto& [ost, scheduler] : targets_) {
+    ADAPTBF_CHECK(ost != nullptr && scheduler != nullptr);
+    daemons_.emplace_back(*scheduler, config_.daemon);
+  }
+}
+
+void GiftController::start() {
+  ADAPTBF_CHECK_MSG(!running_, "GIFT controller already started");
+  running_ = true;
+  periodic_ = sim_.schedule_periodic(config_.dt, [this] { tick(); });
+}
+
+void GiftController::stop() {
+  if (!running_) return;
+  running_ = false;
+  sim_.cancel_periodic(periodic_);
+}
+
+double GiftController::coupons(JobId job) const {
+  auto it = coupons_.find(job);
+  return it == coupons_.end() ? 0.0 : it->second.balance;
+}
+
+void GiftController::tick() {
+  ++windows_;
+  const SimTime now = sim_.now();
+  const double budget = config_.total_rate * config_.dt.to_seconds();
+
+  // Expire stale coupon accounts (GIFT bounds its reward debt).
+  for (auto it = coupons_.begin(); it != coupons_.end();) {
+    if (now - it->second.last_update > config_.coupon_expiry)
+      it = coupons_.erase(it);
+    else
+      ++it;
+  }
+
+  // Centralized coordination cost: rules across all targets take effect
+  // only after the controller has talked to each server.
+  const SimDuration apply_latency =
+      config_.per_ost_latency * static_cast<std::int64_t>(targets_.size());
+
+  for (std::size_t t = 0; t < targets_.size(); ++t) {
+    Ost& ost = *targets_[t].first;
+    const auto snapshot = ost.job_stats().window_snapshot();
+    std::vector<JobWindowStats> active;
+    for (const auto& stats : snapshot)
+      if (stats.rpcs > 0) active.push_back(stats);
+    ost.job_stats().clear_window();
+    if (active.empty()) {
+      // Stop every rule (empty window) via an empty allocation set.
+      WindowResult empty;
+      empty.when = now;
+      daemons_[t].apply(empty, now);
+      continue;
+    }
+
+    // 1. Equal effective share per active job — priority-unaware.
+    const double share = budget / static_cast<double>(active.size());
+
+    // 2. Throttle-and-reward bookkeeping: unused share becomes coupons;
+    // the spare pool funds redemptions.
+    double spare = 0.0;
+    std::vector<double> deficit(active.size(), 0.0);
+    double total_deficit_demand = 0.0;
+    for (std::size_t i = 0; i < active.size(); ++i) {
+      const double demand = static_cast<double>(active[i].rpcs);
+      auto& account = coupons_[active[i].job];
+      account.last_update = now;
+      if (demand < share) {
+        account.balance += share - demand;  // throttled/unused -> coupon
+        spare += share - demand;
+      } else {
+        deficit[i] = demand - share;
+        total_deficit_demand += deficit[i];
+      }
+    }
+
+    // 3. Redeem coupons from the spare pool: jobs wanting more than the
+    // equal share spend their coupons, proportionally to their unmet
+    // demand, never beyond their balance.
+    const double pool = spare * config_.redemption_fraction;
+    WindowResult window;
+    window.when = now;
+    for (std::size_t i = 0; i < active.size(); ++i) {
+      const double demand = static_cast<double>(active[i].rpcs);
+      double allocation = std::min(share, demand);
+      if (deficit[i] > 0.0 && total_deficit_demand > 0.0 && pool > 0.0) {
+        auto& account = coupons_.at(active[i].job);
+        const double want = pool * deficit[i] / total_deficit_demand;
+        const double redeemed = std::min(want, account.balance);
+        account.balance -= redeemed;
+        allocation = share + redeemed;
+      } else if (deficit[i] > 0.0) {
+        allocation = share;
+      }
+      JobAllocation out;
+      out.job = active[i].job;
+      out.priority = 1.0 / static_cast<double>(active.size());
+      out.demand = demand;
+      out.tokens = static_cast<std::int64_t>(std::floor(allocation));
+      out.rate = allocation / config_.dt.to_seconds();
+      window.jobs.push_back(out);
+    }
+    std::sort(window.jobs.begin(), window.jobs.end(),
+              [](const auto& a, const auto& b) { return a.job < b.job; });
+
+    if (apply_latency > SimDuration(0)) {
+      sim_.schedule_after(apply_latency, [this, t, window] {
+        daemons_[t].apply(window, sim_.now());
+      });
+    } else {
+      daemons_[t].apply(window, now);
+    }
+  }
+}
+
+}  // namespace adaptbf

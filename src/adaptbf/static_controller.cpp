@@ -1,0 +1,37 @@
+#include "adaptbf/static_controller.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/check.h"
+
+namespace adaptbf {
+
+StaticBwController::StaticBwController(TbfScheduler& scheduler, Config config)
+    : scheduler_(scheduler), config_(std::move(config)) {
+  ADAPTBF_CHECK(config_.total_rate > 0.0);
+  ADAPTBF_CHECK_MSG(!config_.jobs.empty(), "static policy needs jobs");
+}
+
+void StaticBwController::install(SimTime /*now*/) {
+  ADAPTBF_CHECK_MSG(!installed_, "static rules already installed");
+  installed_ = true;
+  std::uint64_t total_nodes = 0;
+  for (const auto& share : config_.jobs) {
+    ADAPTBF_CHECK(share.nodes > 0);
+    total_nodes += share.nodes;
+  }
+  for (const auto& share : config_.jobs) {
+    const double priority = static_cast<double>(share.nodes) /
+                            static_cast<double>(total_nodes);
+    RuleSpec spec;
+    spec.name = "static_job_" + std::to_string(share.job.value());
+    spec.matcher = RpcMatcher::for_job(share.job);
+    spec.rate = std::max(config_.min_rate, config_.total_rate * priority);
+    spec.depth = config_.depth;
+    spec.rank = -static_cast<std::int32_t>(std::llround(priority * 1'000'000.0));
+    scheduler_.start_rule(spec);
+  }
+}
+
+}  // namespace adaptbf

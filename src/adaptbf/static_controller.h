@@ -1,0 +1,40 @@
+// "Static BW" baseline (§IV-C): fixed TBF rules from global priorities.
+//
+// One rule per job, created up front, rated T_i x (job nodes / all nodes in
+// the system), never adjusted. This is exactly what an administrator could
+// configure with stock Lustre TBF — priority-proportional but neither
+// demand-aware nor work-conserving.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tbf/tbf_scheduler.h"
+
+namespace adaptbf {
+
+class StaticBwController {
+ public:
+  struct JobShare {
+    JobId job;
+    std::uint32_t nodes = 1;
+  };
+  struct Config {
+    std::vector<JobShare> jobs;
+    double total_rate = 1000.0;  ///< T_i tokens/s.
+    double min_rate = 1.0;
+    double depth = 3.0;
+  };
+
+  StaticBwController(TbfScheduler& scheduler, Config config);
+
+  /// Installs the static rule set at time `now`. Call once.
+  void install(SimTime now);
+
+ private:
+  TbfScheduler& scheduler_;
+  Config config_;
+  bool installed_ = false;
+};
+
+}  // namespace adaptbf

@@ -1,0 +1,286 @@
+#include "adaptbf/token_allocator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "support/check.h"
+
+namespace adaptbf {
+
+TokenAllocator::TokenAllocator(AllocatorConfig config) : config_(config) {
+  ADAPTBF_CHECK_MSG(config_.total_rate > 0.0, "T_i must be positive");
+  ADAPTBF_CHECK_MSG(config_.dt > SimDuration(0), "Δt must be positive");
+  ADAPTBF_CHECK(config_.deficit_saturation > 1.0);
+  ADAPTBF_CHECK_MSG(config_.ewma_alpha > 0.0 && config_.ewma_alpha <= 1.0,
+                    "ewma_alpha must be in (0, 1]");
+}
+
+WindowResult TokenAllocator::allocate(std::span<const JobWindowInput> active,
+                                      SimTime now) {
+  WindowResult result;
+  result.when = now;
+  result.total_tokens = config_.total_rate * config_.dt.to_seconds();
+  if (active.empty()) return result;
+
+  // Sort by JobId and validate inputs.
+  std::vector<JobWindowInput> inputs(active.begin(), active.end());
+  std::sort(inputs.begin(), inputs.end(),
+            [](const auto& a, const auto& b) { return a.job < b.job; });
+  std::uint64_t sum_nodes = 0;
+  {
+    std::unordered_set<std::uint32_t> seen;
+    for (const auto& input : inputs) {
+      ADAPTBF_CHECK_MSG(input.nodes > 0, "job must hold >= 1 compute node");
+      ADAPTBF_CHECK_MSG(input.demand >= 0.0, "demand must be non-negative");
+      ADAPTBF_CHECK_MSG(seen.insert(input.job.value()).second,
+                        "duplicate JobId in window input");
+      sum_nodes += input.nodes;
+    }
+  }
+
+  const double dt_sec = config_.dt.to_seconds();
+  const std::size_t n = inputs.size();
+  result.jobs.resize(n);
+
+  // ---- Step 1: priority-based initial allocation (eqs. 1-2) ----
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto& input = inputs[i];
+    JobAllocation& out = result.jobs[i];
+    out.job = input.job;
+    out.demand = input.demand;
+    out.priority = static_cast<double>(input.nodes) /
+                   static_cast<double>(sum_nodes);
+    out.initial = result.total_tokens * out.priority;
+
+    JobState& st = state_[input.job];
+    st.last_active = now;
+    // Update the future-demand estimate d̄ (eq. 11). Under kLastWindow this
+    // is exactly the paper's d̄ = d assumption.
+    if (config_.demand_estimator == DemandEstimator::kEwma &&
+        st.demand_estimate >= 0.0) {
+      st.demand_estimate = config_.ewma_alpha * input.demand +
+                           (1.0 - config_.ewma_alpha) * st.demand_estimate;
+    } else {
+      st.demand_estimate = input.demand;
+    }
+    // Utilization u = d / α_{t-1} (eq. 3), guarded per DESIGN.md: a job
+    // never allocated before is neutral (u = 1); a job that had a zero
+    // allocation but still shows demand is an unbounded deficit.
+    if (st.prev_alloc < 0.0) {
+      out.utilization = 1.0;
+    } else if (st.prev_alloc == 0.0) {
+      out.utilization = input.demand > 0.0 ? config_.deficit_saturation : 0.0;
+    } else {
+      out.utilization = input.demand / st.prev_alloc;
+    }
+  }
+
+  // Distribution factor DF (eq. 6), shared by steps 2 and 3 (eq. 18).
+  auto distribution_factor = [](const JobAllocation& j) {
+    return j.utilization > 1.0 ? j.utilization + j.utilization * j.priority
+                               : j.utilization * j.priority;
+  };
+
+  // ---- Step 2: redistribution of surplus tokens (eqs. 4-8) ----
+  if (config_.enable_redistribution) {
+    double surplus_total = 0.0;
+    for (auto& j : result.jobs) {
+      j.surplus = std::max(0.0, j.initial - j.demand);
+      surplus_total += j.surplus;
+    }
+    double df_sum = 0.0;
+    for (const auto& j : result.jobs) df_sum += distribution_factor(j);
+    if (surplus_total > 0.0 && df_sum > 0.0) {
+      result.surplus_total = surplus_total;
+      for (auto& j : result.jobs) {
+        const double share =
+            distribution_factor(j) / df_sum * surplus_total;
+        j.after_redistribution = j.initial - j.surplus + share;
+        j.record_after_redistribution =
+            state_.at(j.job).record + j.surplus - share;
+      }
+    } else {
+      for (auto& j : result.jobs) {
+        j.surplus = 0.0;
+        j.after_redistribution = j.initial;
+        j.record_after_redistribution = state_.at(j.job).record;
+      }
+    }
+  } else {
+    for (auto& j : result.jobs) {
+      j.after_redistribution = j.initial;
+      j.record_after_redistribution = state_.at(j.job).record;
+    }
+  }
+
+  // ---- Step 3: re-compensation for borrowed tokens (eqs. 9-20) ----
+  for (auto& j : result.jobs) j.after_recompensation = j.after_redistribution;
+  if (config_.enable_recompensation) {
+    // Membership (eqs. 9-10): sign must agree before AND after
+    // redistribution, so a job that flipped sides this window sits out.
+    std::vector<JobAllocation*> lenders;    // J_+
+    std::vector<JobAllocation*> borrowers;  // J_-
+    for (auto& j : result.jobs) {
+      const double r_before = state_.at(j.job).record;
+      const double r_rd = j.record_after_redistribution;
+      if (r_before > 0.0 && r_rd > 0.0) lenders.push_back(&j);
+      if (r_before < 0.0 && r_rd < 0.0) borrowers.push_back(&j);
+    }
+    if (!lenders.empty() && !borrowers.empty()) {
+      // Reclaim coefficient C (eq. 13): one scalar for the window, built
+      // from the lenders' current/estimated-future utilization and
+      // priority, clamped to [0, 1].
+      double coefficient = 0.0;
+      for (const auto* j : lenders) {
+        const double estimated = state_.at(j->job).demand_estimate;
+        const double future_util =  // ū (eqs. 11-12)
+            j->after_redistribution > 0.0
+                ? estimated / j->after_redistribution
+                : config_.deficit_saturation;
+        coefficient += (j->priority * std::max(1.0, j->utilization) +
+                        std::max(0.0, 1.0 - future_util)) /
+                       2.0;
+      }
+      coefficient = std::clamp(coefficient, 0.0, 1.0);
+      result.reclaim_coefficient = coefficient;
+
+      // Reclaim from borrowers (eqs. 14-16), bounded by |r_RD| and by the
+      // post-redistribution allocation itself.
+      double reclaim_total = 0.0;
+      for (auto* j : borrowers) {
+        const double bound = std::abs(j->record_after_redistribution);
+        j->reclaimed = std::min(
+            bound,
+            std::max(0.0, coefficient * j->after_redistribution));
+        j->after_recompensation = j->after_redistribution - j->reclaimed;
+        reclaim_total += j->reclaimed;
+      }
+      result.reclaim_total = reclaim_total;
+
+      // Grant to lenders by DF share (eqs. 18-20); if every lender has a
+      // zero factor (all fully idle), fall back to equal shares.
+      if (reclaim_total > 0.0) {
+        double df_sum = 0.0;
+        for (const auto* j : lenders) df_sum += distribution_factor(*j);
+        for (auto* j : lenders) {
+          const double weight =
+              df_sum > 0.0 ? distribution_factor(*j) / df_sum
+                           : 1.0 / static_cast<double>(lenders.size());
+          j->compensated = weight * reclaim_total;
+          j->after_recompensation = j->after_redistribution + j->compensated;
+        }
+      }
+    }
+  }
+
+  // ---- Step 4: integerization with remainders (eqs. 21-25) ----
+  if (config_.enable_remainders) {
+    // Window token budget as an integer, carrying its own fraction.
+    double budget_exact = 0.0;
+    for (const auto& j : result.jobs) budget_exact += j.after_recompensation;
+    const double budget_with_carry = budget_exact + budget_carry_;
+    const auto target = static_cast<std::int64_t>(std::floor(
+        budget_with_carry + 1e-9));
+    budget_carry_ = budget_with_carry - static_cast<double>(target);
+
+    std::int64_t allocated = 0;
+    for (auto& j : result.jobs) {
+      const double raw = j.after_recompensation + state_.at(j.job).remainder;
+      j.tokens = static_cast<std::int64_t>(std::floor(raw + 1e-9));
+      if (j.tokens < 0) j.tokens = 0;  // remainders cannot drive negative
+      j.remainder_after = raw - static_cast<double>(j.tokens);
+      allocated += j.tokens;
+    }
+    // Largest-remainder repair: leftover -> +1 to the largest remainders;
+    // excess -> -1 from the smallest remainders with tokens to give. Each
+    // pass sorts once and walks the order, granting/taking at most one
+    // token per job, so a window costs O(n log n) regardless of how many
+    // tokens are off (the paper's O(n)-per-job claim holds: the mismatch
+    // is bounded by the remainder pool, itself bounded by n).
+    std::vector<JobAllocation*> order;
+    order.reserve(result.jobs.size());
+    for (auto& j : result.jobs) order.push_back(&j);
+    while (allocated < target) {
+      std::sort(order.begin(), order.end(),
+                [](const auto* a, const auto* b) {
+                  if (a->remainder_after != b->remainder_after)
+                    return a->remainder_after > b->remainder_after;
+                  return a->job < b->job;
+                });
+      for (auto* pick : order) {
+        if (allocated >= target) break;
+        pick->tokens += 1;
+        pick->remainder_after -= 1.0;
+        ++allocated;
+      }
+    }
+    while (allocated > target) {
+      std::sort(order.begin(), order.end(),
+                [](const auto* a, const auto* b) {
+                  if (a->remainder_after != b->remainder_after)
+                    return a->remainder_after < b->remainder_after;
+                  return a->job < b->job;
+                });
+      bool took_any = false;
+      for (auto* pick : order) {
+        if (allocated <= target) break;
+        if (pick->tokens == 0) continue;
+        pick->tokens -= 1;
+        pick->remainder_after += 1.0;
+        --allocated;
+        took_any = true;
+      }
+      if (!took_any) break;  // nothing left to take
+    }
+  } else {
+    for (auto& j : result.jobs) {
+      j.tokens = static_cast<std::int64_t>(std::floor(
+          j.after_recompensation + 1e-9));
+      if (j.tokens < 0) j.tokens = 0;
+      j.remainder_after = 0.0;
+    }
+  }
+
+  // ---- Commit state and derive rates ----
+  for (auto& j : result.jobs) {
+    JobState& st = state_.at(j.job);
+    // Record after the window: redistribution delta plus re-compensation
+    // delta (eqs. 8, 16, 20).
+    j.record_after = j.record_after_redistribution + j.reclaimed -
+                     j.compensated;
+    st.record = j.record_after;
+    st.remainder = j.remainder_after;
+    st.prev_alloc = static_cast<double>(j.tokens);
+    j.rate = static_cast<double>(j.tokens) / dt_sec;
+  }
+  return result;
+}
+
+void TokenAllocator::collect_garbage(SimTime now) {
+  for (auto it = state_.begin(); it != state_.end();) {
+    if (now - it->second.last_active > config_.record_gc_horizon)
+      it = state_.erase(it);
+    else
+      ++it;
+  }
+}
+
+double TokenAllocator::record(JobId job) const {
+  auto it = state_.find(job);
+  return it == state_.end() ? 0.0 : it->second.record;
+}
+
+double TokenAllocator::remainder(JobId job) const {
+  auto it = state_.find(job);
+  return it == state_.end() ? 0.0 : it->second.remainder;
+}
+
+double TokenAllocator::estimated_demand(JobId job) const {
+  auto it = state_.find(job);
+  return it == state_.end() || it->second.demand_estimate < 0.0
+             ? 0.0
+             : it->second.demand_estimate;
+}
+
+}  // namespace adaptbf

@@ -1,0 +1,74 @@
+#include "client/client_system.h"
+
+#include <utility>
+
+#include "support/check.h"
+
+namespace adaptbf {
+
+ClientSystem::ClientSystem(Simulator& sim, SimDuration response_latency)
+    : sim_(sim), response_latency_(response_latency) {
+  ADAPTBF_CHECK(response_latency >= SimDuration(0));
+}
+
+void ClientSystem::attach_ost(Ost& ost) {
+  ost.add_completion_hook(
+      [this](const RpcCompletion& completion) { route_completion(completion); });
+}
+
+ProcessStream& ClientSystem::add_process(Ost& ost,
+                                         ProcessStream::Config config,
+                                         std::unique_ptr<IoPattern> pattern) {
+  // The id allocator doubles as the routing registrar: every id it hands
+  // out is mapped back to the issuing process so completions can be
+  // demultiplexed. The process pointer is only known after construction,
+  // so the closure captures a slot filled in below.
+  auto route_slot = std::make_shared<ProcessStream*>(nullptr);
+  auto allocate_id = [this, route_slot]() -> std::uint64_t {
+    const std::uint64_t id = next_rpc_id_++;
+    ADAPTBF_CHECK(*route_slot != nullptr);
+    inflight_routes_.emplace(id, *route_slot);
+    return id;
+  };
+  auto process = std::make_unique<ProcessStream>(
+      sim_, ost, config, std::move(pattern), std::move(allocate_id));
+  *route_slot = process.get();
+  processes_.push_back(std::move(process));
+  return *processes_.back();
+}
+
+void ClientSystem::start_all() {
+  for (auto& process : processes_) process->start();
+}
+
+bool ClientSystem::all_finished() const {
+  for (const auto& process : processes_)
+    if (!process->finished()) return false;
+  return true;
+}
+
+SimTime ClientSystem::job_finish_time(JobId job) const {
+  SimTime latest = SimTime::zero();
+  for (const auto& process : processes_) {
+    if (process->config().job != job || !process->finished()) continue;
+    latest = std::max(latest, process->finish_time());
+  }
+  return latest;
+}
+
+void ClientSystem::route_completion(const RpcCompletion& completion) {
+  auto it = inflight_routes_.find(completion.rpc.id);
+  ADAPTBF_CHECK_MSG(it != inflight_routes_.end(),
+                    "completion for unrouted RPC id");
+  ProcessStream* process = it->second;
+  inflight_routes_.erase(it);
+  if (response_latency_ > SimDuration(0)) {
+    sim_.schedule_after(response_latency_, [process, completion] {
+      process->on_completion(completion);
+    });
+  } else {
+    process->on_completion(completion);
+  }
+}
+
+}  // namespace adaptbf

@@ -1,0 +1,63 @@
+// Client-side aggregate: owns all processes and routes completions.
+//
+// One ClientSystem per experiment. It assigns processes to client nodes
+// (NIDs), provides the global RPC id counter, registers itself as a
+// completion hook on every OST, and demultiplexes completions back to the
+// issuing ProcessStream by RPC id.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "client/process_stream.h"
+#include "ost/ost.h"
+#include "rpc/rpc.h"
+#include "sim/simulator.h"
+
+namespace adaptbf {
+
+class ClientSystem {
+ public:
+  /// `response_latency` models the server -> client completion trip: a
+  /// process learns of (and reacts to) a completion that much later.
+  explicit ClientSystem(Simulator& sim,
+                        SimDuration response_latency = SimDuration(0));
+
+  /// Registers completion routing on an OST. Call once per OST, before any
+  /// process targeting it is added.
+  void attach_ost(Ost& ost);
+
+  /// Creates a process issuing to `ost`. Returns a stable handle.
+  ProcessStream& add_process(Ost& ost, ProcessStream::Config config,
+                             std::unique_ptr<IoPattern> pattern);
+
+  /// Starts every process's release schedule.
+  void start_all();
+
+  [[nodiscard]] std::size_t process_count() const { return processes_.size(); }
+  [[nodiscard]] const std::vector<std::unique_ptr<ProcessStream>>& processes()
+      const {
+    return processes_;
+  }
+
+  /// True when every process has completed its pattern.
+  [[nodiscard]] bool all_finished() const;
+
+  /// Latest finish time across processes of `job`; SimTime::zero() if the
+  /// job has no finished process yet.
+  [[nodiscard]] SimTime job_finish_time(JobId job) const;
+
+ private:
+  void route_completion(const RpcCompletion& completion);
+
+  Simulator& sim_;
+  SimDuration response_latency_{0};
+  std::vector<std::unique_ptr<ProcessStream>> processes_;
+  /// rpc id -> issuing process (entries removed on completion).
+  std::unordered_map<std::uint64_t, ProcessStream*> inflight_routes_;
+  std::uint64_t next_rpc_id_ = 1;
+};
+
+}  // namespace adaptbf

@@ -1,0 +1,60 @@
+#include "client/io_pattern.h"
+
+#include <algorithm>
+
+#include "support/check.h"
+
+namespace adaptbf {
+
+ContinuousPattern::ContinuousPattern(std::uint64_t total,
+                                     SimDuration start_delay)
+    : total_(total), start_delay_(start_delay) {
+  ADAPTBF_CHECK(start_delay >= SimDuration(0));
+}
+
+std::optional<Release> ContinuousPattern::next_release() {
+  if (emitted_ || total_ == 0) return std::nullopt;
+  emitted_ = true;
+  return Release{SimTime::zero() + start_delay_, total_};
+}
+
+PoissonPattern::PoissonPattern(std::uint64_t total, double rate_per_sec,
+                               SimDuration start_delay, std::uint64_t seed)
+    : total_(total),
+      mean_gap_sec_(1.0 / rate_per_sec),
+      next_time_(SimTime::zero() + start_delay),
+      rng_(seed) {
+  ADAPTBF_CHECK_MSG(rate_per_sec > 0.0, "Poisson rate must be positive");
+  ADAPTBF_CHECK(start_delay >= SimDuration(0));
+}
+
+std::optional<Release> PoissonPattern::next_release() {
+  if (released_ >= total_) return std::nullopt;
+  const Release release{next_time_, 1};
+  ++released_;
+  next_time_ = next_time_ +
+               SimDuration::from_seconds(rng_.next_exponential(mean_gap_sec_));
+  return release;
+}
+
+PeriodicBurstPattern::PeriodicBurstPattern(std::uint64_t total,
+                                           std::uint64_t burst,
+                                           SimDuration period,
+                                           SimDuration start_delay)
+    : total_(total), burst_(burst), period_(period), start_delay_(start_delay) {
+  ADAPTBF_CHECK_MSG(burst > 0, "burst size must be positive");
+  ADAPTBF_CHECK_MSG(period > SimDuration(0), "burst period must be positive");
+  ADAPTBF_CHECK(start_delay >= SimDuration(0));
+}
+
+std::optional<Release> PeriodicBurstPattern::next_release() {
+  if (released_ >= total_) return std::nullopt;
+  const std::uint64_t count = std::min(burst_, total_ - released_);
+  const SimTime when = SimTime::zero() + start_delay_ +
+                       period_ * static_cast<std::int64_t>(bursts_emitted_);
+  released_ += count;
+  ++bursts_emitted_;
+  return Release{when, count};
+}
+
+}  // namespace adaptbf

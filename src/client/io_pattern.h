@@ -1,0 +1,88 @@
+// I/O release patterns — the Filebench-personality substitute.
+//
+// A pattern decides *when* RPCs become available for a process to issue;
+// the process's closed inflight window (ProcessStream) decides how fast the
+// available RPCs actually reach the server. The paper's workloads use three
+// shapes, all expressible here:
+//   * continuous file-per-process streams (16 procs x 1 GiB, §IV-D),
+//   * periodic short bursts with varying magnitude/interval (§IV-E),
+//   * continuous streams that start after a delay (20/50/80 s, §IV-F).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "sim/time.h"
+#include "support/random.h"
+
+namespace adaptbf {
+
+/// One release: at `when`, `count` more RPCs become available to issue.
+struct Release {
+  SimTime when;
+  std::uint64_t count;
+};
+
+/// Generator interface: next_release() returns releases in non-decreasing
+/// time order until the pattern is exhausted.
+class IoPattern {
+ public:
+  virtual ~IoPattern() = default;
+  virtual std::optional<Release> next_release() = 0;
+  /// Total RPCs the pattern will ever release (for progress accounting).
+  [[nodiscard]] virtual std::uint64_t total_rpcs() const = 0;
+};
+
+/// Everything available immediately after `start_delay` (a process writing
+/// its whole file as fast as its inflight window allows).
+class ContinuousPattern final : public IoPattern {
+ public:
+  ContinuousPattern(std::uint64_t total, SimDuration start_delay);
+  std::optional<Release> next_release() override;
+  [[nodiscard]] std::uint64_t total_rpcs() const override { return total_; }
+
+ private:
+  std::uint64_t total_;
+  SimDuration start_delay_;
+  bool emitted_ = false;
+};
+
+/// Single RPCs released at exponentially distributed intervals (Poisson
+/// arrivals) with the given mean rate, from `start_delay` until `total`
+/// RPCs are out. Deterministic for a fixed seed. Models irregular,
+/// think-time-driven I/O (interactive/analysis jobs) that neither the
+/// continuous nor the periodic-burst shape captures.
+class PoissonPattern final : public IoPattern {
+ public:
+  PoissonPattern(std::uint64_t total, double rate_per_sec,
+                 SimDuration start_delay, std::uint64_t seed);
+  std::optional<Release> next_release() override;
+  [[nodiscard]] std::uint64_t total_rpcs() const override { return total_; }
+
+ private:
+  std::uint64_t total_;
+  double mean_gap_sec_;
+  SimTime next_time_;
+  std::uint64_t released_ = 0;
+  Xoshiro256 rng_;
+};
+
+/// `burst` RPCs every `period`, starting at `start_delay`, until `total`
+/// RPCs have been released. The final burst is truncated to fit `total`.
+class PeriodicBurstPattern final : public IoPattern {
+ public:
+  PeriodicBurstPattern(std::uint64_t total, std::uint64_t burst,
+                       SimDuration period, SimDuration start_delay);
+  std::optional<Release> next_release() override;
+  [[nodiscard]] std::uint64_t total_rpcs() const override { return total_; }
+
+ private:
+  std::uint64_t total_;
+  std::uint64_t burst_;
+  SimDuration period_;
+  SimDuration start_delay_;
+  std::uint64_t released_ = 0;
+  std::uint64_t bursts_emitted_ = 0;
+};
+
+}  // namespace adaptbf

@@ -1,0 +1,75 @@
+// Experiment harness: ScenarioSpec in, ExperimentResult out.
+//
+// Wires a full single-OST testbed — simulator, OST with the policy's
+// scheduler, client system with every process of every job — runs it, and
+// collects the timeline, per-job summaries and (for AdapTBF) the
+// allocation/record trace. This is the programmatic equivalent of one
+// CloudLab run in §IV.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "adaptbf/allocation_types.h"
+#include "metrics/latency_stats.h"
+#include "metrics/throughput_timeline.h"
+#include "workload/scenario.h"
+
+namespace adaptbf {
+
+struct JobSummary {
+  JobId id;
+  std::string name;
+  std::uint32_t nodes = 0;
+  std::uint64_t rpcs_completed = 0;
+  std::uint64_t bytes_completed = 0;
+  /// Bytes over the job's active span: completion time for jobs that
+  /// finished, the full horizon otherwise. This is the "achieved I/O
+  /// bandwidth per job" of Figs. 4a/6a/8a — a job that finished early
+  /// because it received more tokens shows the higher rate it ran at.
+  double mean_mibps = 0.0;
+  /// Time the job's last process finished; zero if it ran to the horizon.
+  SimTime finish_time;
+  bool finished = false;
+};
+
+struct ExperimentResult {
+  std::string scenario_name;
+  BwControl control = BwControl::kNone;
+  SimTime horizon;  ///< Measured span (duration, or early-idle stop point).
+  double max_token_rate = 0.0;  ///< T_i used (tokens/s).
+
+  ThroughputTimeline timeline;
+  LatencyStats latency;
+  std::vector<JobSummary> jobs;  ///< Ascending JobId.
+  double aggregate_mibps = 0.0;
+  std::uint64_t total_bytes = 0;
+
+  /// One entry per observation window (AdapTBF runs only).
+  std::vector<WindowResult> allocation_trace;
+
+  std::uint64_t events_dispatched = 0;
+
+  [[nodiscard]] const JobSummary* find_job(JobId id) const {
+    for (const auto& j : jobs)
+      if (j.id == id) return &j;
+    return nullptr;
+  }
+
+  /// (JobId, name) pairs in ascending id order — the labels argument the
+  /// metrics/report.h tables take.
+  [[nodiscard]] std::vector<std::pair<JobId, std::string>> job_labels() const;
+};
+
+struct ExperimentOptions {
+  /// Record every WindowResult (memory ~ jobs x windows). On for figure
+  /// benches, off for sweeps that only need summaries.
+  bool capture_allocation_trace = true;
+};
+
+/// Runs one scenario to its horizon. Deterministic: equal specs give
+/// bit-identical results.
+[[nodiscard]] ExperimentResult run_experiment(const ScenarioSpec& spec,
+                                              const ExperimentOptions& options = {});
+
+}  // namespace adaptbf

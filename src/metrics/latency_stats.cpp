@@ -1,0 +1,61 @@
+#include "metrics/latency_stats.h"
+
+#include <algorithm>
+
+#include "support/stats.h"
+
+namespace adaptbf {
+
+void LatencyStats::record(const RpcCompletion& completion) {
+  auto& samples = samples_[completion.rpc.job];
+  samples.total_ms.push_back(completion.latency().to_seconds() * 1e3);
+  samples.queue_ms.push_back(completion.queue_delay().to_seconds() * 1e3);
+}
+
+LatencySummary LatencyStats::summarize(const std::vector<double>& values) {
+  LatencySummary summary;
+  if (values.empty()) return summary;
+  summary.samples = values.size();
+  StreamingStats stats;
+  for (double v : values) stats.add(v);
+  summary.mean_ms = stats.mean();
+  summary.max_ms = stats.max();
+  summary.p50_ms = percentile(values, 50.0);
+  summary.p95_ms = percentile(values, 95.0);
+  summary.p99_ms = percentile(values, 99.0);
+  return summary;
+}
+
+LatencySummary LatencyStats::total_latency(JobId job) const {
+  auto it = samples_.find(job);
+  return it == samples_.end() ? LatencySummary{}
+                              : summarize(it->second.total_ms);
+}
+
+LatencySummary LatencyStats::queue_delay(JobId job) const {
+  auto it = samples_.find(job);
+  return it == samples_.end() ? LatencySummary{}
+                              : summarize(it->second.queue_ms);
+}
+
+LatencySummary LatencyStats::total_latency_all() const {
+  std::vector<double> all;
+  for (const auto& [job, samples] : samples_)
+    all.insert(all.end(), samples.total_ms.begin(), samples.total_ms.end());
+  return summarize(all);
+}
+
+std::vector<JobId> LatencyStats::jobs() const {
+  std::vector<JobId> ids;
+  ids.reserve(samples_.size());
+  for (const auto& [job, samples] : samples_) ids.push_back(job);
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+std::size_t LatencyStats::samples(JobId job) const {
+  auto it = samples_.find(job);
+  return it == samples_.end() ? 0 : it->second.total_ms.size();
+}
+
+}  // namespace adaptbf

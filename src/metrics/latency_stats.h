@@ -1,0 +1,55 @@
+// Per-job RPC latency collection.
+//
+// Burst-sensitive experiments (§IV-E) are better judged by how fast a burst
+// clears than by mean bandwidth: a bursty job emitting 96 RPCs every few
+// seconds shows the same MiB/s under any policy that eventually serves it,
+// but its burst-completion latency differs wildly. This collector keeps
+// per-job queue-delay and total-latency samples and reports percentiles.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "rpc/rpc.h"
+#include "sim/time.h"
+
+namespace adaptbf {
+
+struct LatencySummary {
+  std::size_t samples = 0;
+  double mean_ms = 0.0;
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+  double p99_ms = 0.0;
+  double max_ms = 0.0;
+};
+
+class LatencyStats {
+ public:
+  /// Records one completed RPC.
+  void record(const RpcCompletion& completion);
+
+  /// Percentile summary of total latency (issue -> completion) for a job.
+  /// Zeroed summary if the job has no samples.
+  [[nodiscard]] LatencySummary total_latency(JobId job) const;
+
+  /// Percentile summary of queueing delay (issue -> service start).
+  [[nodiscard]] LatencySummary queue_delay(JobId job) const;
+
+  /// Summary across all jobs.
+  [[nodiscard]] LatencySummary total_latency_all() const;
+
+  [[nodiscard]] std::vector<JobId> jobs() const;
+  [[nodiscard]] std::size_t samples(JobId job) const;
+
+ private:
+  struct Samples {
+    std::vector<double> total_ms;
+    std::vector<double> queue_ms;
+  };
+  static LatencySummary summarize(const std::vector<double>& values);
+
+  std::unordered_map<JobId, Samples> samples_;
+};
+
+}  // namespace adaptbf

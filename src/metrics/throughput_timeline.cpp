@@ -1,0 +1,83 @@
+#include "metrics/throughput_timeline.h"
+
+#include <algorithm>
+
+#include "support/check.h"
+#include "support/units.h"
+
+namespace adaptbf {
+
+ThroughputTimeline::ThroughputTimeline(SimDuration bin_width)
+    : bin_width_(bin_width) {
+  ADAPTBF_CHECK(bin_width > SimDuration(0));
+}
+
+std::size_t ThroughputTimeline::bin_index(SimTime when) const {
+  ADAPTBF_CHECK(when >= SimTime::zero());
+  return static_cast<std::size_t>(when.ns() / bin_width_.ns());
+}
+
+void ThroughputTimeline::record(JobId job, std::uint32_t bytes, SimTime when) {
+  auto& bins = bytes_per_bin_[job];
+  const std::size_t index = bin_index(when);
+  if (bins.size() <= index) bins.resize(index + 1, 0);
+  bins[index] += bytes;
+  totals_[job] += bytes;
+}
+
+std::vector<double> ThroughputTimeline::series_mibps(JobId job,
+                                                     SimTime horizon) const {
+  const std::size_t bins =
+      static_cast<std::size_t>(horizon.ns() / bin_width_.ns()) +
+      (horizon.ns() % bin_width_.ns() != 0 ? 1u : 0u);
+  std::vector<double> series(bins, 0.0);
+  auto it = bytes_per_bin_.find(job);
+  if (it == bytes_per_bin_.end()) return series;
+  const double bin_sec = bin_width_.to_seconds();
+  for (std::size_t i = 0; i < bins && i < it->second.size(); ++i)
+    series[i] = to_mib(it->second[i]) / bin_sec;
+  return series;
+}
+
+std::vector<double> ThroughputTimeline::aggregate_mibps(SimTime horizon) const {
+  const std::size_t bins =
+      static_cast<std::size_t>(horizon.ns() / bin_width_.ns()) +
+      (horizon.ns() % bin_width_.ns() != 0 ? 1u : 0u);
+  std::vector<double> series(bins, 0.0);
+  const double bin_sec = bin_width_.to_seconds();
+  for (const auto& [job, job_bins] : bytes_per_bin_)
+    for (std::size_t i = 0; i < bins && i < job_bins.size(); ++i)
+      series[i] += to_mib(job_bins[i]) / bin_sec;
+  return series;
+}
+
+std::uint64_t ThroughputTimeline::total_bytes(JobId job) const {
+  auto it = totals_.find(job);
+  return it == totals_.end() ? 0 : it->second;
+}
+
+std::uint64_t ThroughputTimeline::total_bytes() const {
+  std::uint64_t total = 0;
+  for (const auto& [job, bytes] : totals_) total += bytes;
+  return total;
+}
+
+double ThroughputTimeline::mean_mibps(JobId job, SimTime horizon) const {
+  ADAPTBF_CHECK(horizon > SimTime::zero());
+  return to_mib(total_bytes(job)) / horizon.to_seconds();
+}
+
+double ThroughputTimeline::aggregate_mean_mibps(SimTime horizon) const {
+  ADAPTBF_CHECK(horizon > SimTime::zero());
+  return to_mib(total_bytes()) / horizon.to_seconds();
+}
+
+std::vector<JobId> ThroughputTimeline::jobs() const {
+  std::vector<JobId> ids;
+  ids.reserve(bytes_per_bin_.size());
+  for (const auto& [job, bins] : bytes_per_bin_) ids.push_back(job);
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+}  // namespace adaptbf

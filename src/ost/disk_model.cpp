@@ -1,0 +1,34 @@
+#include "ost/disk_model.h"
+
+#include "support/check.h"
+
+namespace adaptbf {
+
+DiskModel::DiskModel(Config config) : config_(config) {
+  ADAPTBF_CHECK(config_.seq_bandwidth > 0.0);
+  ADAPTBF_CHECK(config_.rand_bandwidth > 0.0);
+  ADAPTBF_CHECK(config_.per_rpc_overhead >= SimDuration(0));
+}
+
+double DiskModel::work_bytes(const Rpc& rpc) const {
+  const double penalty = rpc.locality == Locality::kRandom
+                             ? config_.seq_bandwidth / config_.rand_bandwidth
+                             : 1.0;
+  const double overhead_bytes =
+      config_.per_rpc_overhead.to_seconds() * config_.seq_bandwidth;
+  return static_cast<double>(rpc.size_bytes) * penalty + overhead_bytes;
+}
+
+SimDuration DiskModel::isolated_service_time(const Rpc& rpc) const {
+  return SimDuration::from_seconds(work_bytes(rpc) / config_.seq_bandwidth);
+}
+
+double DiskModel::rpcs_per_second(std::uint32_t size_bytes,
+                                  Locality locality) const {
+  Rpc probe;
+  probe.size_bytes = size_bytes;
+  probe.locality = locality;
+  return config_.seq_bandwidth / work_bytes(probe);
+}
+
+}  // namespace adaptbf

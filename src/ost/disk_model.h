@@ -1,0 +1,50 @@
+// Storage-device cost model.
+//
+// Substitution for the CloudLab c6525-25g SATA SSDs (Table II of the paper).
+// Each RPC's cost is normalized to "sequential byte equivalents": the
+// device drains work at `seq_bandwidth` bytes/s, and random I/O or per-RPC
+// overhead inflate an RPC's work. This keeps the device a single scalar
+// resource — which is all the paper's experiments exercise — while
+// preserving the property that small random writes burn disproportionate
+// device time (the bandwidth-hogging motivation in §I).
+#pragma once
+
+#include <cstdint>
+
+#include "rpc/rpc.h"
+#include "sim/time.h"
+
+namespace adaptbf {
+
+class DiskModel {
+ public:
+  struct Config {
+    /// Sequential streaming bandwidth in bytes/second.
+    double seq_bandwidth = 1600.0 * 1024 * 1024;
+    /// Random-access bandwidth in bytes/second (seek/FTL penalty).
+    double rand_bandwidth = 400.0 * 1024 * 1024;
+    /// Fixed per-RPC setup cost (request handling, bulk setup).
+    SimDuration per_rpc_overhead = SimDuration::micros(50);
+  };
+
+  DiskModel() : DiskModel(Config{}) {}
+  explicit DiskModel(Config config);
+
+  /// Work of an RPC in sequential-byte equivalents (see file comment).
+  [[nodiscard]] double work_bytes(const Rpc& rpc) const;
+
+  /// Time to complete `rpc` alone on an idle device.
+  [[nodiscard]] SimDuration isolated_service_time(const Rpc& rpc) const;
+
+  [[nodiscard]] double seq_bandwidth() const { return config_.seq_bandwidth; }
+
+  /// Device capacity expressed in RPCs/second for a given RPC shape; the
+  /// experiment harness uses this to derive the OST's max token rate T_i.
+  [[nodiscard]] double rpcs_per_second(std::uint32_t size_bytes,
+                                       Locality locality) const;
+
+ private:
+  Config config_;
+};
+
+}  // namespace adaptbf

@@ -1,0 +1,47 @@
+#include "ost/job_stats.h"
+
+#include <algorithm>
+
+namespace adaptbf {
+
+void JobStatsTracker::record_arrival(const Rpc& rpc) {
+  auto& w = window_[rpc.job];
+  w.job = rpc.job;
+  ++w.rpcs;
+  w.bytes += rpc.size_bytes;
+  auto& c = cumulative_[rpc.job];
+  ++c.rpcs_issued;
+  c.bytes_issued += rpc.size_bytes;
+}
+
+void JobStatsTracker::record_completion(const Rpc& rpc) {
+  auto& c = cumulative_[rpc.job];
+  ++c.rpcs_completed;
+  c.bytes_completed += rpc.size_bytes;
+}
+
+std::vector<JobWindowStats> JobStatsTracker::window_snapshot() const {
+  std::vector<JobWindowStats> jobs;
+  jobs.reserve(window_.size());
+  for (const auto& [job, stats] : window_) jobs.push_back(stats);
+  std::sort(jobs.begin(), jobs.end(),
+            [](const auto& a, const auto& b) { return a.job < b.job; });
+  return jobs;
+}
+
+void JobStatsTracker::clear_window() { window_.clear(); }
+
+const JobCumulativeStats* JobStatsTracker::cumulative(JobId job) const {
+  auto it = cumulative_.find(job);
+  return it == cumulative_.end() ? nullptr : &it->second;
+}
+
+std::vector<JobId> JobStatsTracker::jobs_ever_seen() const {
+  std::vector<JobId> jobs;
+  jobs.reserve(cumulative_.size());
+  for (const auto& [job, stats] : cumulative_) jobs.push_back(job);
+  std::sort(jobs.begin(), jobs.end());
+  return jobs;
+}
+
+}  // namespace adaptbf

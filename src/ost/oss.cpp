@@ -1,0 +1,46 @@
+#include "ost/oss.h"
+
+#include "support/check.h"
+
+namespace adaptbf {
+
+Oss::Oss(Simulator& sim, Config config,
+         const SchedulerFactory& make_scheduler) {
+  ADAPTBF_CHECK_MSG(config.num_osts > 0, "OSS needs at least one OST");
+  ADAPTBF_CHECK(make_scheduler != nullptr);
+  osts_.reserve(config.num_osts);
+  for (std::uint32_t i = 0; i < config.num_osts; ++i) {
+    Ost::Config ost_config = config.ost;
+    ost_config.id = i;
+    osts_.push_back(
+        std::make_unique<Ost>(sim, ost_config, make_scheduler(i)));
+  }
+}
+
+Ost& Oss::ost(std::size_t index) {
+  ADAPTBF_CHECK(index < osts_.size());
+  return *osts_[index];
+}
+
+const Ost& Oss::ost(std::size_t index) const {
+  ADAPTBF_CHECK(index < osts_.size());
+  return *osts_[index];
+}
+
+void Oss::add_completion_hook(const Ost::CompletionHook& hook) {
+  for (auto& ost : osts_) ost->add_completion_hook(hook);
+}
+
+std::uint64_t Oss::completed_rpcs() const {
+  std::uint64_t total = 0;
+  for (const auto& ost : osts_) total += ost->completed_rpcs();
+  return total;
+}
+
+std::uint64_t Oss::completed_bytes() const {
+  std::uint64_t total = 0;
+  for (const auto& ost : osts_) total += ost->completed_bytes();
+  return total;
+}
+
+}  // namespace adaptbf

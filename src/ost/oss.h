@@ -1,0 +1,48 @@
+// Object Storage Server: a host with one or more OSTs (Fig. 2, left).
+//
+// In Lustre, the OSS runs the NRS (and thus TBF) for each of its targets;
+// AdapTBF runs one independent controller per OST. The Oss class groups the
+// OSTs of one server, owns their schedulers through the Ost instances, and
+// exposes aggregate counters. It deliberately adds no cross-OST logic —
+// decentralization is the point (§III-A).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "ost/ost.h"
+#include "sim/simulator.h"
+#include "tbf/scheduler.h"
+
+namespace adaptbf {
+
+class Oss {
+ public:
+  /// Builds a scheduler for one OST (called once per target). Lets callers
+  /// choose FCFS vs TBF per policy without Oss knowing about policies.
+  using SchedulerFactory =
+      std::function<std::unique_ptr<RequestScheduler>(std::uint32_t ost_index)>;
+
+  struct Config {
+    std::uint32_t num_osts = 2;  ///< CloudLab setup: one OSS with two OSTs.
+    Ost::Config ost;             ///< Shared per-OST configuration.
+  };
+
+  Oss(Simulator& sim, Config config, const SchedulerFactory& make_scheduler);
+
+  [[nodiscard]] std::size_t num_osts() const { return osts_.size(); }
+  [[nodiscard]] Ost& ost(std::size_t index);
+  [[nodiscard]] const Ost& ost(std::size_t index) const;
+
+  /// Registers a completion hook on every OST.
+  void add_completion_hook(const Ost::CompletionHook& hook);
+
+  [[nodiscard]] std::uint64_t completed_rpcs() const;
+  [[nodiscard]] std::uint64_t completed_bytes() const;
+
+ private:
+  std::vector<std::unique_ptr<Ost>> osts_;
+};
+
+}  // namespace adaptbf

@@ -1,0 +1,80 @@
+#include "ost/ost.h"
+
+#include <utility>
+
+#include "support/check.h"
+
+namespace adaptbf {
+
+Ost::Ost(Simulator& sim, Config config,
+         std::unique_ptr<RequestScheduler> scheduler)
+    : sim_(sim),
+      config_(config),
+      disk_model_(config.disk),
+      scheduler_(std::move(scheduler)),
+      disk_(sim, config.disk.seq_bandwidth) {
+  ADAPTBF_CHECK_MSG(config_.num_threads > 0, "OST needs at least one thread");
+  ADAPTBF_CHECK_MSG(scheduler_ != nullptr, "OST needs a scheduler");
+}
+
+void Ost::submit(const Rpc& rpc) {
+  job_stats_.record_arrival(rpc);
+  scheduler_->enqueue(rpc, sim_.now());
+  pump();
+}
+
+void Ost::add_completion_hook(CompletionHook hook) {
+  ADAPTBF_CHECK(hook != nullptr);
+  hooks_.push_back(std::move(hook));
+}
+
+double Ost::max_token_rate(std::uint32_t rpc_size_bytes) const {
+  return disk_model_.rpcs_per_second(rpc_size_bytes, Locality::kSequential);
+}
+
+void Ost::pump() {
+  const SimTime now = sim_.now();
+  while (busy_threads_ < config_.num_threads) {
+    auto rpc = scheduler_->dequeue(now);
+    if (!rpc.has_value()) break;
+    ++busy_threads_;
+    const std::uint64_t tag = rpc->id;
+    in_service_.emplace(tag, InService{*rpc, now});
+    disk_.admit(tag, disk_model_.work_bytes(*rpc),
+                [this](std::uint64_t done_tag) { on_disk_done(done_tag); });
+  }
+  // If work remains queued but nothing was eligible (tokens pending) or all
+  // threads are busy, arm a wakeup for the earliest time the scheduler could
+  // release an RPC. Completions also call pump(), so thread-availability
+  // wakeups are implicit.
+  if (scheduler_->backlog() > 0 && busy_threads_ < config_.num_threads) {
+    const SimTime ready = scheduler_->next_ready_time(now);
+    if (ready < SimTime::max()) {
+      if (has_wakeup_ && wakeup_time_ <= ready) return;  // already armed
+      if (has_wakeup_) sim_.cancel(wakeup_event_);
+      wakeup_time_ = std::max(ready, now);
+      wakeup_event_ = sim_.schedule_at(wakeup_time_, [this] {
+        has_wakeup_ = false;
+        pump();
+      });
+      has_wakeup_ = true;
+    }
+  }
+}
+
+void Ost::on_disk_done(std::uint64_t tag) {
+  auto it = in_service_.find(tag);
+  ADAPTBF_CHECK_MSG(it != in_service_.end(), "completion for unknown RPC");
+  RpcCompletion completion{it->second.rpc, it->second.start_service,
+                           sim_.now()};
+  in_service_.erase(it);
+  ADAPTBF_CHECK(busy_threads_ > 0);
+  --busy_threads_;
+  ++completed_;
+  completed_bytes_ += completion.rpc.size_bytes;
+  job_stats_.record_completion(completion.rpc);
+  for (const auto& hook : hooks_) hook(completion);
+  pump();
+}
+
+}  // namespace adaptbf

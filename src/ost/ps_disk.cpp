@@ -1,0 +1,85 @@
+#include "ost/ps_disk.h"
+
+#include <cmath>
+#include <utility>
+#include <vector>
+
+#include "support/check.h"
+
+namespace adaptbf {
+
+namespace {
+// Transfers within this many work-bytes of done are considered complete;
+// absorbs float drift from repeated progress integration.
+constexpr double kCompletionSlack = 1e-3;
+}  // namespace
+
+PsDisk::PsDisk(Simulator& sim, double bandwidth)
+    : sim_(sim), bandwidth_(bandwidth), last_update_(sim.now()) {
+  ADAPTBF_CHECK_MSG(bandwidth > 0.0, "disk bandwidth must be positive");
+}
+
+void PsDisk::advance_to(SimTime now) {
+  ADAPTBF_CHECK(now >= last_update_);
+  if (!active_.empty() && now > last_update_) {
+    const double share = bandwidth_ * (now - last_update_).to_seconds() /
+                         static_cast<double>(active_.size());
+    for (auto& [tag, transfer] : active_) {
+      const double progressed = std::min(transfer.remaining, share);
+      transfer.remaining -= progressed;
+      work_completed_ += progressed;
+    }
+  }
+  last_update_ = now;
+}
+
+void PsDisk::arm_completion() {
+  if (has_pending_event_) {
+    sim_.cancel(pending_event_);
+    has_pending_event_ = false;
+  }
+  if (active_.empty()) return;
+  double min_remaining = -1.0;
+  for (const auto& [tag, transfer] : active_)
+    if (min_remaining < 0.0 || transfer.remaining < min_remaining)
+      min_remaining = transfer.remaining;
+  const double wait_sec = std::max(0.0, min_remaining) *
+                          static_cast<double>(active_.size()) / bandwidth_;
+  const auto wait =
+      SimDuration(static_cast<std::int64_t>(std::ceil(wait_sec * 1e9)));
+  pending_event_ = sim_.schedule_after(wait, [this] { on_completion(); });
+  has_pending_event_ = true;
+}
+
+void PsDisk::on_completion() {
+  has_pending_event_ = false;
+  advance_to(sim_.now());
+  // Collect everything done; ties resolve in admission order.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> done;  // (seq, tag)
+  for (const auto& [tag, transfer] : active_)
+    if (transfer.remaining <= kCompletionSlack)
+      done.emplace_back(transfer.admit_seq, tag);
+  std::sort(done.begin(), done.end());
+  std::vector<std::pair<std::uint64_t, DoneFn>> callbacks;
+  callbacks.reserve(done.size());
+  for (const auto& [seq, tag] : done) {
+    auto it = active_.find(tag);
+    work_completed_ += it->second.remaining;  // count the slack
+    callbacks.emplace_back(tag, std::move(it->second.done));
+    active_.erase(it);
+  }
+  // Re-arm before running callbacks: callbacks typically admit new work,
+  // and admit() re-arms again with the updated active set.
+  arm_completion();
+  for (auto& [tag, fn] : callbacks) fn(tag);
+}
+
+void PsDisk::admit(std::uint64_t tag, double work_bytes, DoneFn done) {
+  ADAPTBF_CHECK_MSG(work_bytes > 0.0, "transfer work must be positive");
+  ADAPTBF_CHECK_MSG(!active_.contains(tag), "duplicate active transfer tag");
+  advance_to(sim_.now());
+  active_.emplace(tag, Transfer{work_bytes, admit_counter_++, std::move(done)});
+  arm_completion();
+}
+
+}  // namespace adaptbf

@@ -1,0 +1,15 @@
+#include "rpc/rpc.h"
+
+namespace adaptbf {
+
+std::string_view to_string(Opcode op) {
+  switch (op) {
+    case Opcode::kOstRead: return "ost_read";
+    case Opcode::kOstWrite: return "ost_write";
+    case Opcode::kOstPunch: return "ost_punch";
+    case Opcode::kOstSync: return "ost_sync";
+  }
+  return "unknown";
+}
+
+}  // namespace adaptbf

@@ -1,0 +1,76 @@
+#include "sim/event_queue.h"
+
+#include <utility>
+
+#include "support/check.h"
+
+namespace adaptbf {
+
+EventId EventQueue::schedule(SimTime when, EventFn fn) {
+  ADAPTBF_CHECK_MSG(fn != nullptr, "cannot schedule a null event");
+  const EventId id = next_seq_++;
+  heap_.push_back(Entry{when, id, std::move(fn)});
+  pending_.insert(id);
+  sift_up(heap_.size() - 1);
+  return id;
+}
+
+bool EventQueue::cancel(EventId id) {
+  if (!pending_.contains(id) || cancelled_.contains(id)) return false;
+  cancelled_.insert(id);
+  return true;
+}
+
+void EventQueue::drop_cancelled_top() {
+  while (!heap_.empty() && cancelled_.contains(heap_.front().seq)) {
+    cancelled_.erase(heap_.front().seq);
+    pending_.erase(heap_.front().seq);
+    heap_.front() = std::move(heap_.back());
+    heap_.pop_back();
+    if (!heap_.empty()) sift_down(0);
+  }
+}
+
+SimTime EventQueue::next_time() {
+  drop_cancelled_top();
+  return heap_.empty() ? SimTime::max() : heap_.front().time;
+}
+
+EventQueue::Fired EventQueue::pop() {
+  drop_cancelled_top();
+  ADAPTBF_CHECK_MSG(!heap_.empty(), "pop() on empty event queue");
+  Fired fired{heap_.front().time, heap_.front().seq,
+              std::move(heap_.front().fn)};
+  pending_.erase(fired.id);
+  heap_.front() = std::move(heap_.back());
+  heap_.pop_back();
+  if (!heap_.empty()) sift_down(0);
+  return fired;
+}
+
+void EventQueue::sift_up(std::size_t i) {
+  const Later later;
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 2;
+    if (!later(heap_[parent], heap_[i])) break;
+    std::swap(heap_[parent], heap_[i]);
+    i = parent;
+  }
+}
+
+void EventQueue::sift_down(std::size_t i) {
+  const Later later;
+  const std::size_t n = heap_.size();
+  while (true) {
+    const std::size_t left = 2 * i + 1;
+    const std::size_t right = left + 1;
+    std::size_t smallest = i;
+    if (left < n && later(heap_[smallest], heap_[left])) smallest = left;
+    if (right < n && later(heap_[smallest], heap_[right])) smallest = right;
+    if (smallest == i) break;
+    std::swap(heap_[i], heap_[smallest]);
+    i = smallest;
+  }
+}
+
+}  // namespace adaptbf

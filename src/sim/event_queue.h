@@ -1,0 +1,72 @@
+// Pending-event set for the discrete-event simulator.
+//
+// A binary min-heap keyed on (time, sequence). The sequence number breaks
+// ties in insertion order, which makes event processing fully deterministic
+// regardless of heap internals — a requirement for reproducible experiments
+// and for the regression tests that assert exact token allocations.
+//
+// Cancellation is lazy: cancelled ids go into a tombstone set and are
+// discarded when they reach the top of the heap.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace adaptbf {
+
+using EventId = std::uint64_t;
+using EventFn = std::function<void()>;
+
+class EventQueue {
+ public:
+  /// Schedules `fn` at absolute time `when`. Returns an id usable by cancel().
+  EventId schedule(SimTime when, EventFn fn);
+
+  /// Cancels a pending event. Returns false if the event already fired or
+  /// was already cancelled.
+  bool cancel(EventId id);
+
+  [[nodiscard]] bool empty() const { return live() == 0; }
+  [[nodiscard]] std::size_t live() const {
+    return heap_.size() - cancelled_.size();
+  }
+
+  /// Time of the earliest live event; SimTime::max() when empty.
+  [[nodiscard]] SimTime next_time();
+
+  struct Fired {
+    SimTime time;
+    EventId id;
+    EventFn fn;
+  };
+  /// Pops and returns the earliest live event. Requires !empty().
+  Fired pop();
+
+ private:
+  struct Entry {
+    SimTime time;
+    EventId seq;
+    EventFn fn;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  void sift_up(std::size_t i);
+  void sift_down(std::size_t i);
+  void drop_cancelled_top();
+
+  std::vector<Entry> heap_;
+  std::unordered_set<EventId> cancelled_;
+  std::unordered_set<EventId> pending_;  // ids currently in the heap
+  EventId next_seq_ = 0;
+};
+
+}  // namespace adaptbf

@@ -1,0 +1,72 @@
+#include "sim/simulator.h"
+
+#include <utility>
+
+#include "support/check.h"
+
+namespace adaptbf {
+
+EventId Simulator::schedule_at(SimTime when, EventFn fn) {
+  ADAPTBF_CHECK_MSG(when >= now_, "cannot schedule into the past");
+  return queue_.schedule(when, std::move(fn));
+}
+
+EventId Simulator::schedule_after(SimDuration delay, EventFn fn) {
+  ADAPTBF_CHECK_MSG(delay >= SimDuration(0), "negative delay");
+  return queue_.schedule(now_ + delay, std::move(fn));
+}
+
+Simulator::PeriodicHandle Simulator::schedule_periodic(SimDuration period,
+                                                       EventFn fn) {
+  ADAPTBF_CHECK_MSG(period > SimDuration(0), "period must be positive");
+  const std::uint64_t key = next_periodic_key_++;
+  periodics_.emplace(key, Periodic{period, std::move(fn)});
+  arm_periodic(key);
+  return PeriodicHandle{key};
+}
+
+void Simulator::arm_periodic(std::uint64_t key) {
+  auto it = periodics_.find(key);
+  if (it == periodics_.end() || it->second.cancelled) return;
+  schedule_after(it->second.period, [this, key] {
+    auto found = periodics_.find(key);
+    if (found == periodics_.end() || found->second.cancelled) return;
+    // Copy the callback: it may cancel itself (erasing the map entry).
+    EventFn fn = found->second.fn;
+    fn();
+    arm_periodic(key);
+  });
+}
+
+void Simulator::cancel_periodic(PeriodicHandle handle) {
+  auto it = periodics_.find(handle.key);
+  if (it == periodics_.end()) return;
+  // Mark first (a pending armed event may still reference the key), then
+  // erase; the armed lambda checks the map before firing.
+  it->second.cancelled = true;
+  periodics_.erase(it);
+}
+
+void Simulator::run_until(SimTime deadline) {
+  ADAPTBF_CHECK(deadline >= now_);
+  while (!queue_.empty() && queue_.next_time() <= deadline) {
+    auto fired = queue_.pop();
+    ADAPTBF_CHECK(fired.time >= now_);
+    now_ = fired.time;
+    ++dispatched_;
+    fired.fn();
+  }
+  now_ = deadline;
+}
+
+void Simulator::run_to_completion() {
+  while (!queue_.empty()) {
+    auto fired = queue_.pop();
+    ADAPTBF_CHECK(fired.time >= now_);
+    now_ = fired.time;
+    ++dispatched_;
+    fired.fn();
+  }
+}
+
+}  // namespace adaptbf

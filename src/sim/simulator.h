@@ -1,0 +1,64 @@
+// Discrete-event simulator driver.
+//
+// Owns the clock and the event queue. Components schedule callbacks either
+// at absolute times (schedule_at) or relative delays (schedule_after);
+// run_until() / run_to_completion() dispatch events in deterministic
+// (time, insertion) order. Single-threaded by design: an HPC storage server
+// simulation at this granularity is dominated by event dispatch, and
+// determinism is worth more than parallel speedup for reproducing figures.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "sim/event_queue.h"
+#include "sim/time.h"
+
+namespace adaptbf {
+
+class Simulator {
+ public:
+  [[nodiscard]] SimTime now() const { return now_; }
+
+  /// Schedules `fn` at absolute time `when`; `when` must not be in the past.
+  EventId schedule_at(SimTime when, EventFn fn);
+
+  /// Schedules `fn` after a non-negative delay from now().
+  EventId schedule_after(SimDuration delay, EventFn fn);
+
+  /// Schedules `fn` every `period`, first firing at now() + period, until
+  /// the returned handle is cancelled via cancel_periodic(). The callback
+  /// runs before the next period is armed, so a callback may cancel itself.
+  struct PeriodicHandle {
+    std::uint64_t key = 0;
+  };
+  PeriodicHandle schedule_periodic(SimDuration period, EventFn fn);
+  void cancel_periodic(PeriodicHandle handle);
+
+  bool cancel(EventId id) { return queue_.cancel(id); }
+
+  /// Runs all events with time <= deadline; clock ends at exactly deadline.
+  void run_until(SimTime deadline);
+
+  /// Runs until no events remain.
+  void run_to_completion();
+
+  [[nodiscard]] std::uint64_t events_dispatched() const { return dispatched_; }
+  [[nodiscard]] bool idle() const { return queue_.empty(); }
+
+ private:
+  struct Periodic {
+    SimDuration period;
+    EventFn fn;
+    bool cancelled = false;
+  };
+  void arm_periodic(std::uint64_t key);
+
+  EventQueue queue_;
+  SimTime now_ = SimTime::zero();
+  std::uint64_t dispatched_ = 0;
+  std::uint64_t next_periodic_key_ = 1;
+  std::unordered_map<std::uint64_t, Periodic> periodics_;
+};
+
+}  // namespace adaptbf

@@ -1,0 +1,76 @@
+// Simulated time.
+//
+// SimTime is a strong type over signed 64-bit nanoseconds. Nanosecond ticks
+// give 292 years of range, far beyond any experiment, while keeping all time
+// arithmetic exact (no floating-point drift in deadlines, which matters for
+// the TBF deadline heap's determinism).
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+
+namespace adaptbf {
+
+class SimDuration {
+ public:
+  constexpr SimDuration() = default;
+  explicit constexpr SimDuration(std::int64_t ns) : ns_(ns) {}
+
+  [[nodiscard]] static constexpr SimDuration nanos(std::int64_t v) { return SimDuration(v); }
+  [[nodiscard]] static constexpr SimDuration micros(std::int64_t v) { return SimDuration(v * 1'000); }
+  [[nodiscard]] static constexpr SimDuration millis(std::int64_t v) { return SimDuration(v * 1'000'000); }
+  [[nodiscard]] static constexpr SimDuration seconds(std::int64_t v) { return SimDuration(v * 1'000'000'000); }
+  /// Fractional seconds, rounded to the nearest nanosecond.
+  [[nodiscard]] static SimDuration from_seconds(double s) {
+    return SimDuration(static_cast<std::int64_t>(s * 1e9 + (s >= 0 ? 0.5 : -0.5)));
+  }
+
+  [[nodiscard]] constexpr std::int64_t ns() const { return ns_; }
+  [[nodiscard]] constexpr double to_seconds() const { return static_cast<double>(ns_) / 1e9; }
+  [[nodiscard]] constexpr double to_millis() const { return static_cast<double>(ns_) / 1e6; }
+
+  constexpr auto operator<=>(const SimDuration&) const = default;
+  constexpr SimDuration operator+(SimDuration o) const { return SimDuration(ns_ + o.ns_); }
+  constexpr SimDuration operator-(SimDuration o) const { return SimDuration(ns_ - o.ns_); }
+  constexpr SimDuration operator*(std::int64_t k) const { return SimDuration(ns_ * k); }
+  constexpr SimDuration operator/(std::int64_t k) const { return SimDuration(ns_ / k); }
+  constexpr SimDuration& operator+=(SimDuration o) { ns_ += o.ns_; return *this; }
+  constexpr SimDuration& operator-=(SimDuration o) { ns_ -= o.ns_; return *this; }
+
+ private:
+  std::int64_t ns_ = 0;
+};
+
+/// Absolute simulated time since experiment start.
+class SimTime {
+ public:
+  constexpr SimTime() = default;
+  explicit constexpr SimTime(std::int64_t ns) : ns_(ns) {}
+
+  [[nodiscard]] static constexpr SimTime zero() { return SimTime(0); }
+  /// Sentinel greater than any reachable time; used for "no deadline".
+  [[nodiscard]] static constexpr SimTime max() { return SimTime(INT64_MAX); }
+
+  [[nodiscard]] constexpr std::int64_t ns() const { return ns_; }
+  [[nodiscard]] constexpr double to_seconds() const { return static_cast<double>(ns_) / 1e9; }
+  [[nodiscard]] constexpr double to_millis() const { return static_cast<double>(ns_) / 1e6; }
+
+  constexpr auto operator<=>(const SimTime&) const = default;
+  constexpr SimTime operator+(SimDuration d) const { return SimTime(ns_ + d.ns()); }
+  constexpr SimTime operator-(SimDuration d) const { return SimTime(ns_ - d.ns()); }
+  constexpr SimDuration operator-(SimTime o) const { return SimDuration(ns_ - o.ns_); }
+  constexpr SimTime& operator+=(SimDuration d) { ns_ += d.ns(); return *this; }
+
+ private:
+  std::int64_t ns_ = 0;
+};
+
+/// "12.345s" human-readable rendering for logs and tables.
+[[nodiscard]] inline std::string to_string(SimTime t) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3fs", t.to_seconds());
+  return buf;
+}
+
+}  // namespace adaptbf

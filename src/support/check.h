@@ -1,0 +1,34 @@
+// Checked preconditions and invariants.
+//
+// ADAPTBF_CHECK is active in all build types: simulator correctness depends
+// on these invariants, and the cost is negligible next to event processing.
+// Violations abort with a message; they indicate a programming error, never
+// a recoverable runtime condition (per the C++ Core Guidelines I.6 / E.12 we
+// do not throw from invariant failures).
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace adaptbf {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const char* msg) {
+  std::fprintf(stderr, "ADAPTBF_CHECK failed: %s\n  at %s:%d\n  %s\n", expr,
+               file, line, msg ? msg : "");
+  std::abort();
+}
+
+}  // namespace adaptbf
+
+#define ADAPTBF_CHECK(expr)                                              \
+  do {                                                                   \
+    if (!(expr)) [[unlikely]]                                            \
+      ::adaptbf::check_failed(#expr, __FILE__, __LINE__, nullptr);       \
+  } while (0)
+
+#define ADAPTBF_CHECK_MSG(expr, msg)                                     \
+  do {                                                                   \
+    if (!(expr)) [[unlikely]]                                            \
+      ::adaptbf::check_failed(#expr, __FILE__, __LINE__, (msg));         \
+  } while (0)

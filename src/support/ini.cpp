@@ -1,0 +1,138 @@
+#include "support/ini.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+
+namespace adaptbf {
+
+std::string_view trim(std::string_view text) {
+  while (!text.empty() &&
+         std::isspace(static_cast<unsigned char>(text.front())))
+    text.remove_prefix(1);
+  while (!text.empty() && std::isspace(static_cast<unsigned char>(text.back())))
+    text.remove_suffix(1);
+  return text;
+}
+
+namespace {
+std::string lower(std::string_view text) {
+  std::string out(text);
+  std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return out;
+}
+}  // namespace
+
+std::optional<IniFile> IniFile::parse(std::string_view text,
+                                      std::string* error) {
+  IniFile file;
+  std::string current_section;
+  std::size_t line_number = 0;
+  std::size_t pos = 0;
+  auto fail = [&](const std::string& message) -> std::optional<IniFile> {
+    if (error != nullptr)
+      *error = message + " (line " + std::to_string(line_number) + ")";
+    return std::nullopt;
+  };
+  while (pos <= text.size()) {
+    const std::size_t eol = text.find('\n', pos);
+    std::string_view line = text.substr(
+        pos, eol == std::string_view::npos ? std::string_view::npos
+                                           : eol - pos);
+    pos = eol == std::string_view::npos ? text.size() + 1 : eol + 1;
+    ++line_number;
+
+    // Strip comments (full-line or trailing).
+    const std::size_t comment = line.find_first_of("#;");
+    if (comment != std::string_view::npos) line = line.substr(0, comment);
+    line = trim(line);
+    if (line.empty()) continue;
+
+    if (line.front() == '[') {
+      if (line.back() != ']') return fail("unterminated section header");
+      const std::string_view name = trim(line.substr(1, line.size() - 2));
+      if (name.empty()) return fail("empty section name");
+      current_section = std::string(name);
+      if (std::find(file.section_order_.begin(), file.section_order_.end(),
+                    current_section) == file.section_order_.end())
+        file.section_order_.push_back(current_section);
+      continue;
+    }
+
+    const std::size_t eq = line.find('=');
+    if (eq == std::string_view::npos) return fail("expected 'key = value'");
+    const std::string_view key = trim(line.substr(0, eq));
+    const std::string_view value = trim(line.substr(eq + 1));
+    if (key.empty()) return fail("empty key");
+    if (current_section.empty()) return fail("key before any [section]");
+    file.entries_.push_back(
+        Entry{current_section, std::string(key), std::string(value)});
+  }
+  return file;
+}
+
+std::vector<std::string> IniFile::sections() const { return section_order_; }
+
+bool IniFile::has_section(std::string_view section) const {
+  return std::find(section_order_.begin(), section_order_.end(), section) !=
+         section_order_.end();
+}
+
+std::optional<std::string> IniFile::get(std::string_view section,
+                                        std::string_view key) const {
+  for (const auto& entry : entries_)
+    if (entry.section == section && entry.key == key) return entry.value;
+  return std::nullopt;
+}
+
+std::vector<std::string> IniFile::get_all(std::string_view section,
+                                          std::string_view key) const {
+  std::vector<std::string> values;
+  for (const auto& entry : entries_)
+    if (entry.section == section && entry.key == key)
+      values.push_back(entry.value);
+  return values;
+}
+
+std::optional<double> IniFile::get_double(std::string_view section,
+                                          std::string_view key) const {
+  const auto value = get(section, key);
+  if (!value.has_value()) return std::nullopt;
+  char* end = nullptr;
+  const double parsed = std::strtod(value->c_str(), &end);
+  if (end != value->c_str() + value->size() || value->empty())
+    return std::nullopt;
+  return parsed;
+}
+
+std::optional<std::int64_t> IniFile::get_int(std::string_view section,
+                                             std::string_view key) const {
+  const auto value = get(section, key);
+  if (!value.has_value()) return std::nullopt;
+  char* end = nullptr;
+  const long long parsed = std::strtoll(value->c_str(), &end, 10);
+  if (end != value->c_str() + value->size() || value->empty())
+    return std::nullopt;
+  return parsed;
+}
+
+std::optional<bool> IniFile::get_bool(std::string_view section,
+                                      std::string_view key) const {
+  const auto value = get(section, key);
+  if (!value.has_value()) return std::nullopt;
+  const std::string v = lower(*value);
+  if (v == "true" || v == "yes" || v == "on" || v == "1") return true;
+  if (v == "false" || v == "no" || v == "off" || v == "0") return false;
+  return std::nullopt;
+}
+
+std::vector<std::string> IniFile::keys(std::string_view section) const {
+  std::vector<std::string> names;
+  for (const auto& entry : entries_)
+    if (entry.section == section) names.push_back(entry.key);
+  return names;
+}
+
+}  // namespace adaptbf

@@ -1,0 +1,61 @@
+// Minimal INI reader for scenario files.
+//
+// Grammar: `[section]` headers, `key = value` pairs, `#`/`;` comments,
+// blank lines ignored. Keys may repeat within a section (used for the
+// `process =` lines of job descriptions); values keep inner whitespace and
+// are trimmed at both ends. No escapes, no quoting — scenario files do not
+// need them, and a parser this small is easy to audit.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace adaptbf {
+
+class IniFile {
+ public:
+  /// Parses `text`. On failure returns nullopt and sets `error` (if given)
+  /// to a message with the 1-based line number.
+  static std::optional<IniFile> parse(std::string_view text,
+                                      std::string* error = nullptr);
+
+  /// Section names in file order (duplicates merged into the first).
+  [[nodiscard]] std::vector<std::string> sections() const;
+  [[nodiscard]] bool has_section(std::string_view section) const;
+
+  /// First value of `key` in `section`; nullopt if absent.
+  [[nodiscard]] std::optional<std::string> get(std::string_view section,
+                                               std::string_view key) const;
+
+  /// All values of `key` in `section`, in file order.
+  [[nodiscard]] std::vector<std::string> get_all(std::string_view section,
+                                                 std::string_view key) const;
+
+  /// Typed accessors; return nullopt when missing OR malformed.
+  [[nodiscard]] std::optional<double> get_double(std::string_view section,
+                                                 std::string_view key) const;
+  [[nodiscard]] std::optional<std::int64_t> get_int(
+      std::string_view section, std::string_view key) const;
+  /// true/false, yes/no, on/off, 1/0 (case-insensitive).
+  [[nodiscard]] std::optional<bool> get_bool(std::string_view section,
+                                             std::string_view key) const;
+
+  /// Keys present in a section, in file order (with duplicates).
+  [[nodiscard]] std::vector<std::string> keys(std::string_view section) const;
+
+ private:
+  struct Entry {
+    std::string section;
+    std::string key;
+    std::string value;
+  };
+  std::vector<Entry> entries_;
+  std::vector<std::string> section_order_;
+};
+
+/// Trims ASCII whitespace from both ends.
+[[nodiscard]] std::string_view trim(std::string_view text);
+
+}  // namespace adaptbf

@@ -1,0 +1,32 @@
+// Minimal leveled logger.
+//
+// The simulator itself never logs on hot paths; logging exists for the
+// controllers (rule create/change/stop events mirror what the real AdapTBF
+// daemon prints) and for harness progress. Global level, stderr sink.
+#pragma once
+
+#include <cstdarg>
+#include <string_view>
+
+namespace adaptbf {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Sets the global threshold; messages below it are dropped.
+void set_log_level(LogLevel level);
+[[nodiscard]] LogLevel log_level();
+
+/// printf-style logging. `tag` names the subsystem ("rule-daemon", ...).
+void log_message(LogLevel level, std::string_view tag, const char* fmt, ...)
+    __attribute__((format(printf, 3, 4)));
+
+}  // namespace adaptbf
+
+#define ADAPTBF_LOG_DEBUG(tag, ...) \
+  ::adaptbf::log_message(::adaptbf::LogLevel::kDebug, (tag), __VA_ARGS__)
+#define ADAPTBF_LOG_INFO(tag, ...) \
+  ::adaptbf::log_message(::adaptbf::LogLevel::kInfo, (tag), __VA_ARGS__)
+#define ADAPTBF_LOG_WARN(tag, ...) \
+  ::adaptbf::log_message(::adaptbf::LogLevel::kWarn, (tag), __VA_ARGS__)
+#define ADAPTBF_LOG_ERROR(tag, ...) \
+  ::adaptbf::log_message(::adaptbf::LogLevel::kError, (tag), __VA_ARGS__)

@@ -1,0 +1,64 @@
+// Deterministic pseudo-random number generation.
+//
+// The simulator must be bit-for-bit reproducible across runs and platforms,
+// so we implement our own generator (xoshiro256**, Blackman & Vigna) and our
+// own distributions instead of relying on the implementation-defined
+// std::uniform_*_distribution. Seeding goes through SplitMix64 as the
+// authors recommend.
+#pragma once
+
+#include <cstdint>
+
+namespace adaptbf {
+
+/// SplitMix64: used to expand a single 64-bit seed into generator state.
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  constexpr std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256**: fast, high-quality 64-bit PRNG with 2^256-1 period.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Xoshiro256(std::uint64_t seed = 0x9d5ad9cc1e4f7a61ULL);
+
+  std::uint64_t next();
+  std::uint64_t operator()() { return next(); }
+
+  static constexpr std::uint64_t min() { return 0; }
+  static constexpr std::uint64_t max() { return ~0ULL; }
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// Uniform integer in [lo, hi] (inclusive); requires lo <= hi.
+  /// Uses Lemire's unbiased bounded rejection method.
+  std::uint64_t next_in(std::uint64_t lo, std::uint64_t hi);
+
+  /// Exponentially distributed double with the given mean (> 0).
+  double next_exponential(double mean);
+
+  /// Normally distributed double (Marsaglia polar method).
+  double next_normal(double mean, double stddev);
+
+  /// Jump function: advances the state by 2^128 steps, giving independent
+  /// non-overlapping subsequences for parallel streams.
+  void jump();
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace adaptbf

@@ -1,0 +1,46 @@
+// Streaming summary statistics and percentile helpers used by the metrics
+// layer and the benchmark harnesses.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace adaptbf {
+
+/// Single-pass mean / variance / min / max accumulator (Welford's method).
+/// Numerically stable for long throughput timelines.
+class StreamingStats {
+ public:
+  void add(double x);
+
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] double variance() const;  ///< Sample variance (n-1 divisor).
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+  [[nodiscard]] double sum() const { return sum_; }
+
+  /// Merge another accumulator into this one (parallel reduction friendly).
+  void merge(const StreamingStats& other);
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Percentile of a sample using linear interpolation between closest ranks.
+/// `q` in [0, 100]. The input span is copied; the original is not reordered.
+[[nodiscard]] double percentile(std::span<const double> values, double q);
+
+/// Jain's fairness index: (sum x)^2 / (n * sum x^2), in (0, 1]; 1 = all equal.
+/// Used by tests to quantify share fairness across jobs.
+[[nodiscard]] double jain_fairness(std::span<const double> values);
+
+}  // namespace adaptbf

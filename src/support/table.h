@@ -1,0 +1,54 @@
+// Console table and CSV emission for benchmark harnesses.
+//
+// Every figure-reproduction binary prints (a) an aligned console table that
+// mirrors the rows/series the paper reports and (b) optionally a CSV file so
+// the series can be re-plotted.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace adaptbf {
+
+/// Row-oriented table builder. Columns are fixed at construction; cells are
+/// formatted by the caller (format helpers below).
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends a row; must have exactly as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+  [[nodiscard]] std::size_t cols() const { return headers_.size(); }
+
+  /// Renders with padded columns, a header separator, and `title` on top.
+  [[nodiscard]] std::string to_string(std::string_view title = "") const;
+
+  /// Renders as RFC-4180-ish CSV (comma separated, quoting cells that need
+  /// it). Header row included.
+  [[nodiscard]] std::string to_csv() const;
+
+  /// Writes to_csv() to `path`; returns false on I/O failure.
+  bool write_csv(const std::string& path) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Fixed-precision double formatting ("12.34").
+[[nodiscard]] std::string fmt_fixed(double v, int precision = 2);
+
+/// Integer with thousands separators ("1,234,567").
+[[nodiscard]] std::string fmt_count(std::uint64_t v);
+
+/// Signed delta with explicit sign ("+3.20" / "-0.75").
+[[nodiscard]] std::string fmt_signed(double v, int precision = 2);
+
+/// Percentage ("45.0%").
+[[nodiscard]] std::string fmt_percent(double fraction, int precision = 1);
+
+}  // namespace adaptbf

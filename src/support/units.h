@@ -1,0 +1,23 @@
+// Byte-size and rate unit helpers shared across the simulator.
+#pragma once
+
+#include <cstdint>
+
+namespace adaptbf {
+
+inline constexpr std::uint64_t kKiB = 1024;
+inline constexpr std::uint64_t kMiB = 1024 * kKiB;
+inline constexpr std::uint64_t kGiB = 1024 * kMiB;
+
+/// Bytes-per-second rate expressed from MiB/s, the unit used throughout the
+/// paper's evaluation plots.
+[[nodiscard]] constexpr double mib_per_sec(double mib) {
+  return mib * static_cast<double>(kMiB);
+}
+
+/// Convert a byte count to MiB for reporting.
+[[nodiscard]] constexpr double to_mib(std::uint64_t bytes) {
+  return static_cast<double>(bytes) / static_cast<double>(kMiB);
+}
+
+}  // namespace adaptbf

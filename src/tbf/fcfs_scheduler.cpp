@@ -1,0 +1,20 @@
+#include "tbf/fcfs_scheduler.h"
+
+namespace adaptbf {
+
+void FcfsScheduler::enqueue(const Rpc& rpc, SimTime /*now*/) {
+  queue_.push_back(rpc);
+}
+
+std::optional<Rpc> FcfsScheduler::dequeue(SimTime /*now*/) {
+  if (queue_.empty()) return std::nullopt;
+  Rpc rpc = queue_.front();
+  queue_.pop_front();
+  return rpc;
+}
+
+SimTime FcfsScheduler::next_ready_time(SimTime now) {
+  return queue_.empty() ? SimTime::max() : now;
+}
+
+}  // namespace adaptbf

@@ -1,0 +1,74 @@
+#include "tbf/rule.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace adaptbf {
+
+RpcMatcher RpcMatcher::for_job(JobId job) { return RpcMatcher{}.add_job(job); }
+RpcMatcher RpcMatcher::for_nid(Nid nid) { return RpcMatcher{}.add_nid(nid); }
+RpcMatcher RpcMatcher::for_opcode(Opcode op) {
+  return RpcMatcher{}.add_opcode(op);
+}
+
+RpcMatcher& RpcMatcher::add_job(JobId job) {
+  jobs_.push_back(job);
+  return *this;
+}
+RpcMatcher& RpcMatcher::add_nid(Nid nid) {
+  nids_.push_back(nid);
+  return *this;
+}
+RpcMatcher& RpcMatcher::add_opcode(Opcode op) {
+  opcodes_.push_back(op);
+  return *this;
+}
+
+bool RpcMatcher::matches(const Rpc& rpc) const {
+  const bool job_ok =
+      jobs_.empty() || std::find(jobs_.begin(), jobs_.end(), rpc.job) != jobs_.end();
+  const bool nid_ok =
+      nids_.empty() || std::find(nids_.begin(), nids_.end(), rpc.nid) != nids_.end();
+  const bool op_ok = opcodes_.empty() ||
+                     std::find(opcodes_.begin(), opcodes_.end(), rpc.opcode) !=
+                         opcodes_.end();
+  return job_ok && nid_ok && op_ok;
+}
+
+bool RpcMatcher::is_wildcard() const {
+  return jobs_.empty() && nids_.empty() && opcodes_.empty();
+}
+
+std::string RpcMatcher::to_string() const {
+  if (is_wildcard()) return "*";
+  std::ostringstream out;
+  bool first = true;
+  auto sep = [&] {
+    if (!first) out << " & ";
+    first = false;
+  };
+  if (!jobs_.empty()) {
+    sep();
+    out << "jobid={";
+    for (std::size_t i = 0; i < jobs_.size(); ++i)
+      out << (i ? "," : "") << jobs_[i].value();
+    out << "}";
+  }
+  if (!nids_.empty()) {
+    sep();
+    out << "nid={";
+    for (std::size_t i = 0; i < nids_.size(); ++i)
+      out << (i ? "," : "") << nids_[i].value();
+    out << "}";
+  }
+  if (!opcodes_.empty()) {
+    sep();
+    out << "opcode={";
+    for (std::size_t i = 0; i < opcodes_.size(); ++i)
+      out << (i ? "," : "") << adaptbf::to_string(opcodes_[i]);
+    out << "}";
+  }
+  return out.str();
+}
+
+}  // namespace adaptbf

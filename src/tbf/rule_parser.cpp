@@ -1,0 +1,295 @@
+#include "tbf/rule_parser.h"
+
+#include <cctype>
+#include <charconv>
+#include <cstdlib>
+#include <sstream>
+
+namespace adaptbf {
+
+namespace {
+
+/// Minimal recursive-descent tokenizer over the command line.
+class Cursor {
+ public:
+  explicit Cursor(std::string_view text) : text_(text) {}
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])))
+      ++pos_;
+  }
+
+  [[nodiscard]] bool at_end() {
+    skip_ws();
+    return pos_ >= text_.size();
+  }
+
+  /// Next bare word: [A-Za-z0-9_.-]+ (stops before '=' '{' '}' ',' '&').
+  std::string_view word() {
+    skip_ws();
+    const std::size_t begin = pos_;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+          c == '.' || c == '-') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    return text_.substr(begin, pos_ - begin);
+  }
+
+  bool consume(char expected) {
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == expected) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  [[nodiscard]] char peek() {
+    skip_ws();
+    return pos_ < text_.size() ? text_[pos_] : '\0';
+  }
+
+  [[nodiscard]] std::size_t position() const { return pos_; }
+
+ private:
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+RuleParseResult fail(std::string message, std::size_t position) {
+  RuleParseResult result;
+  result.error = std::move(message) + " (at offset " +
+                 std::to_string(position) + ")";
+  return result;
+}
+
+bool parse_u32(std::string_view token, std::uint32_t& out) {
+  const char* begin = token.data();
+  const char* end = begin + token.size();
+  auto [ptr, ec] = std::from_chars(begin, end, out);
+  return ec == std::errc{} && ptr == end;
+}
+
+bool parse_i32(std::string_view token, std::int32_t& out) {
+  const char* begin = token.data();
+  const char* end = begin + token.size();
+  auto [ptr, ec] = std::from_chars(begin, end, out);
+  return ec == std::errc{} && ptr == end;
+}
+
+bool parse_double(std::string_view token, double& out) {
+  // from_chars for double is not universally available; strtod on a copy.
+  const std::string copy(token);
+  char* end = nullptr;
+  out = std::strtod(copy.c_str(), &end);
+  return end == copy.c_str() + copy.size() && !copy.empty();
+}
+
+std::optional<Opcode> opcode_from_name(std::string_view name) {
+  if (name == "ost_read") return Opcode::kOstRead;
+  if (name == "ost_write") return Opcode::kOstWrite;
+  if (name == "ost_punch") return Opcode::kOstPunch;
+  if (name == "ost_sync") return Opcode::kOstSync;
+  return std::nullopt;
+}
+
+/// Parses `key={v1,v2,...}` clauses joined by '&' into the matcher.
+/// Leaves the cursor at the first token that is not a clause (e.g. the
+/// `rate=` parameter).
+bool parse_matcher(Cursor& cursor, RpcMatcher& matcher, std::string& error) {
+  while (true) {
+    // Look ahead: clause keys are followed by '={'; parameters by '='
+    // then a number. Snapshot and probe.
+    Cursor probe = cursor;
+    const std::string_view key = probe.word();
+    if (key != "jobid" && key != "nid" && key != "opcode") return true;
+    if (!probe.consume('=') || !probe.consume('{')) {
+      error = "expected '={' after matcher key '" + std::string(key) + "'";
+      return false;
+    }
+    cursor = probe;
+    bool first = true;
+    while (true) {
+      if (cursor.consume('}')) break;
+      if (!first && !cursor.consume(',')) {
+        error = "expected ',' or '}' in matcher list";
+        return false;
+      }
+      const std::string_view value = cursor.word();
+      if (value.empty()) {
+        error = "empty value in matcher list";
+        return false;
+      }
+      if (key == "jobid") {
+        std::uint32_t id = 0;
+        if (!parse_u32(value, id)) {
+          error = "bad jobid '" + std::string(value) + "'";
+          return false;
+        }
+        matcher.add_job(JobId(id));
+      } else if (key == "nid") {
+        std::uint32_t id = 0;
+        if (!parse_u32(value, id)) {
+          error = "bad nid '" + std::string(value) + "'";
+          return false;
+        }
+        matcher.add_nid(Nid(id));
+      } else {
+        const auto opcode = opcode_from_name(value);
+        if (!opcode.has_value()) {
+          error = "unknown opcode '" + std::string(value) + "'";
+          return false;
+        }
+        matcher.add_opcode(*opcode);
+      }
+      first = false;
+    }
+    if (!cursor.consume('&')) return true;  // matcher ends
+  }
+}
+
+/// Parses trailing `key=value` parameters.
+struct Params {
+  std::optional<double> rate;
+  std::optional<double> depth;
+  std::optional<std::int32_t> rank;
+};
+
+bool parse_params(Cursor& cursor, Params& params, std::string& error) {
+  while (!cursor.at_end()) {
+    const std::string_view key = cursor.word();
+    if (key.empty() || !cursor.consume('=')) {
+      error = "expected 'key=value' parameter";
+      return false;
+    }
+    const std::string_view value = cursor.word();
+    if (key == "rate") {
+      double rate = 0.0;
+      if (!parse_double(value, rate) || rate < 0.0) {
+        error = "bad rate '" + std::string(value) + "'";
+        return false;
+      }
+      params.rate = rate;
+    } else if (key == "depth") {
+      double depth = 0.0;
+      if (!parse_double(value, depth) || depth < 1.0) {
+        error = "bad depth '" + std::string(value) + "' (must be >= 1)";
+        return false;
+      }
+      params.depth = depth;
+    } else if (key == "rank") {
+      std::int32_t rank = 0;
+      if (!parse_i32(value, rank)) {
+        error = "bad rank '" + std::string(value) + "'";
+        return false;
+      }
+      params.rank = rank;
+    } else {
+      error = "unknown parameter '" + std::string(key) + "'";
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+RuleParseResult parse_rule_command(std::string_view text) {
+  Cursor cursor(text);
+  const std::string_view verb = cursor.word();
+  if (verb != "start" && verb != "change" && verb != "stop")
+    return fail("expected 'start', 'change' or 'stop'", cursor.position());
+
+  const std::string_view name = cursor.word();
+  if (name.empty()) return fail("expected rule name", cursor.position());
+
+  if (verb == "stop") {
+    if (!cursor.at_end())
+      return fail("unexpected trailing input after stop", cursor.position());
+    RuleParseResult result;
+    result.command = StopRuleCommand{std::string(name)};
+    return result;
+  }
+
+  if (verb == "change") {
+    Params params;
+    std::string error;
+    if (!parse_params(cursor, params, error))
+      return fail(std::move(error), cursor.position());
+    if (!params.rate.has_value())
+      return fail("'change' requires rate=", cursor.position());
+    if (params.depth.has_value())
+      return fail("'change' cannot alter depth", cursor.position());
+    RuleParseResult result;
+    result.command =
+        ChangeRuleCommand{std::string(name), *params.rate, params.rank};
+    return result;
+  }
+
+  // start
+  RpcMatcher matcher;
+  std::string error;
+  if (!parse_matcher(cursor, matcher, error))
+    return fail(std::move(error), cursor.position());
+  Params params;
+  if (!parse_params(cursor, params, error))
+    return fail(std::move(error), cursor.position());
+  if (!params.rate.has_value())
+    return fail("'start' requires rate=", cursor.position());
+
+  RuleSpec spec;
+  spec.name = std::string(name);
+  spec.matcher = matcher;
+  spec.rate = *params.rate;
+  if (params.depth.has_value()) spec.depth = *params.depth;
+  if (params.rank.has_value()) spec.rank = *params.rank;
+  RuleParseResult result;
+  result.command = StartRuleCommand{std::move(spec)};
+  return result;
+}
+
+std::string apply_rule_command(TbfScheduler& scheduler, std::string_view text,
+                               SimTime now) {
+  const RuleParseResult parsed = parse_rule_command(text);
+  if (!parsed.ok()) return parsed.error;
+  if (const auto* start = std::get_if<StartRuleCommand>(&*parsed.command)) {
+    if (scheduler.has_rule(start->spec.name))
+      return "rule '" + start->spec.name + "' already exists";
+    scheduler.start_rule(start->spec);
+    return "";
+  }
+  if (const auto* change = std::get_if<ChangeRuleCommand>(&*parsed.command)) {
+    // Preserve the current rank when the command does not set one.
+    std::int32_t rank = 0;
+    if (change->rank.has_value()) {
+      rank = *change->rank;
+    } else {
+      // No rank given: re-read is not exposed, so default to 0 like Lustre
+      // re-creating the rule body.
+    }
+    if (!scheduler.change_rule(change->name, change->rate, rank, now))
+      return "no such rule '" + change->name + "'";
+    return "";
+  }
+  const auto& stop = std::get<StopRuleCommand>(*parsed.command);
+  if (!scheduler.stop_rule(stop.name, now))
+    return "no such rule '" + stop.name + "'";
+  return "";
+}
+
+std::string format_rule_spec(const RuleSpec& spec) {
+  std::ostringstream out;
+  out << "start " << spec.name;
+  if (!spec.matcher.is_wildcard()) out << ' ' << spec.matcher.to_string();
+  out << " rate=" << spec.rate << " depth=" << spec.depth
+      << " rank=" << spec.rank;
+  return out.str();
+}
+
+}  // namespace adaptbf

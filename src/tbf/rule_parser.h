@@ -1,0 +1,70 @@
+// Text interface for TBF rules, mirroring Lustre's `nrs_tbf_rule` commands.
+//
+// Real Lustre administrators drive TBF through strings like
+//
+//   lctl set_param ost.OSS.ost_io.nrs_tbf_rule=
+//       "start hog_limit jobid={17} & opcode={ost_write} rate=50 rank=-3"
+//
+// This parser accepts the same command shapes against our scheduler:
+//
+//   start <name> [<matcher>] rate=<r> [depth=<d>] [rank=<k>]
+//   change <name> rate=<r> [rank=<k>]
+//   stop <name>
+//
+// where <matcher> is zero or more '&'-joined clauses:
+//
+//   jobid={3,17}   nid={0,2}   opcode={ost_read,ost_write}
+//
+// A missing matcher means wildcard. Numbers are decimal; jobid/nid values
+// are the numeric ids this simulator uses in place of Lustre's
+// "executable.hostname" / "a.b.c.d@tcp" strings.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <variant>
+
+#include "tbf/rule.h"
+#include "tbf/tbf_scheduler.h"
+
+namespace adaptbf {
+
+/// Parsed forms of the three commands.
+struct StartRuleCommand {
+  RuleSpec spec;
+};
+struct ChangeRuleCommand {
+  std::string name;
+  double rate = 0.0;
+  std::optional<std::int32_t> rank;
+};
+struct StopRuleCommand {
+  std::string name;
+};
+using RuleCommand =
+    std::variant<StartRuleCommand, ChangeRuleCommand, StopRuleCommand>;
+
+/// Outcome of parsing: a command, or a human-readable error with the
+/// offending position.
+struct RuleParseResult {
+  std::optional<RuleCommand> command;
+  std::string error;  ///< Empty on success.
+
+  [[nodiscard]] bool ok() const { return command.has_value(); }
+};
+
+/// Parses one command line (leading/trailing whitespace ignored).
+[[nodiscard]] RuleParseResult parse_rule_command(std::string_view text);
+
+/// Parses and applies a command to a scheduler. Returns an empty string on
+/// success, the error message otherwise (parse errors, duplicate starts,
+/// unknown names on change/stop).
+std::string apply_rule_command(TbfScheduler& scheduler, std::string_view text,
+                               SimTime now);
+
+/// Renders a RuleSpec back to the command syntax (round-trips through the
+/// parser); useful for dumping active rule sets.
+[[nodiscard]] std::string format_rule_spec(const RuleSpec& spec);
+
+}  // namespace adaptbf

@@ -1,0 +1,35 @@
+// Request-scheduler interface the OST pulls from.
+//
+// Both the NRS-TBF policy and the baseline FCFS policy ("No BW" in the
+// paper's evaluation) implement this. The OST calls dequeue() whenever an
+// I/O thread is idle; if nothing is eligible yet it arms a wakeup at
+// next_ready_time().
+#pragma once
+
+#include <cstddef>
+#include <optional>
+
+#include "rpc/rpc.h"
+#include "sim/time.h"
+
+namespace adaptbf {
+
+class RequestScheduler {
+ public:
+  virtual ~RequestScheduler() = default;
+
+  /// Accepts an RPC from the network at time `now`.
+  virtual void enqueue(const Rpc& rpc, SimTime now) = 0;
+
+  /// Hands out the next RPC eligible for service at `now`, if any.
+  virtual std::optional<Rpc> dequeue(SimTime now) = 0;
+
+  /// Earliest time > now at which dequeue() could succeed without further
+  /// arrivals; SimTime::max() if no RPCs are pending anywhere.
+  virtual SimTime next_ready_time(SimTime now) = 0;
+
+  /// Total RPCs waiting (all queues).
+  [[nodiscard]] virtual std::size_t backlog() const = 0;
+};
+
+}  // namespace adaptbf

@@ -1,0 +1,47 @@
+// Token bucket as used by the Lustre NRS-TBF policy.
+//
+// Tokens accumulate continuously at `rate` tokens/second up to `depth`
+// (Lustre's default depth is 3 — a deliberately small burst allowance so a
+// queue cannot save up a large burst; see Fig. 1 in the paper). One token
+// admits one RPC. Refill is computed lazily from the last-touch timestamp,
+// so the bucket costs O(1) per operation and nothing when idle.
+#pragma once
+
+#include "sim/time.h"
+
+namespace adaptbf {
+
+class TokenBucket {
+ public:
+  /// Starts with `initial` tokens (clamped to depth) at time `t0`.
+  /// `rate` >= 0 (0 = frozen bucket, never refills); `depth` > 0.
+  TokenBucket(double rate, double depth, SimTime t0, double initial);
+
+  /// Brings the token count up to date at `now` (monotonic in `now`).
+  void refill(SimTime now);
+
+  /// Consumes `n` tokens if available at `now`; returns success.
+  bool try_consume(double n, SimTime now);
+
+  /// Earliest absolute time >= now at which `n` tokens will be available,
+  /// or SimTime::max() if that can never happen (rate 0, or n > depth).
+  [[nodiscard]] SimTime time_for_tokens(double n, SimTime now);
+
+  /// Changes the accumulation rate; accrues tokens at the old rate first.
+  void set_rate(double rate, SimTime now);
+
+  /// Changes the depth; the current token count is clamped to the new depth.
+  void set_depth(double depth, SimTime now);
+
+  [[nodiscard]] double tokens(SimTime now);
+  [[nodiscard]] double rate() const { return rate_; }
+  [[nodiscard]] double depth() const { return depth_; }
+
+ private:
+  double rate_;
+  double depth_;
+  double tokens_;
+  SimTime last_;
+};
+
+}  // namespace adaptbf

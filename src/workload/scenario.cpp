@@ -1,0 +1,66 @@
+#include "workload/scenario.h"
+
+#include "support/check.h"
+
+namespace adaptbf {
+
+std::string_view to_string(BwControl policy) {
+  switch (policy) {
+    case BwControl::kNone: return "No BW";
+    case BwControl::kStatic: return "Static BW";
+    case BwControl::kAdaptive: return "AdapTBF";
+    case BwControl::kGift: return "GIFT";
+  }
+  return "?";
+}
+
+std::uint32_t ScenarioSpec::total_nodes() const {
+  std::uint32_t total = 0;
+  for (const auto& job : jobs) total += job.nodes;
+  return total;
+}
+
+double ScenarioSpec::static_priority(JobId job) const {
+  const std::uint32_t total = total_nodes();
+  ADAPTBF_CHECK(total > 0);
+  for (const auto& spec : jobs)
+    if (spec.id == job)
+      return static_cast<double>(spec.nodes) / static_cast<double>(total);
+  return 0.0;
+}
+
+ProcessPattern continuous_pattern(std::uint64_t total_rpcs,
+                                  SimDuration start_delay) {
+  ProcessPattern pattern;
+  pattern.kind = ProcessPattern::Kind::kContinuous;
+  pattern.total_rpcs = total_rpcs;
+  pattern.start_delay = start_delay;
+  return pattern;
+}
+
+ProcessPattern poisson_pattern(std::uint64_t total_rpcs, double rate_per_sec,
+                               std::uint64_t seed, SimDuration start_delay) {
+  ADAPTBF_CHECK(rate_per_sec > 0.0);
+  ProcessPattern pattern;
+  pattern.kind = ProcessPattern::Kind::kPoisson;
+  pattern.total_rpcs = total_rpcs;
+  pattern.poisson_rate = rate_per_sec;
+  pattern.seed = seed;
+  pattern.start_delay = start_delay;
+  return pattern;
+}
+
+ProcessPattern burst_pattern(std::uint64_t total_rpcs,
+                             std::uint64_t burst_rpcs, SimDuration period,
+                             SimDuration start_delay) {
+  ADAPTBF_CHECK(burst_rpcs > 0);
+  ProcessPattern pattern;
+  pattern.kind = ProcessPattern::Kind::kPeriodicBurst;
+  pattern.total_rpcs = total_rpcs;
+  pattern.burst_rpcs = burst_rpcs;
+  pattern.period = period;
+  pattern.start_delay = start_delay;
+  return pattern;
+}
+
+}  // namespace adaptbf

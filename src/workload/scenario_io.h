@@ -1,0 +1,58 @@
+// Scenario file format: declarative experiment descriptions on disk.
+//
+// Example (see examples/scenarios/*.ini for complete files):
+//
+//   [scenario]
+//   name = demo
+//   control = adaptive          ; none | static | adaptive
+//   duration_s = 30
+//   observation_ms = 100
+//   stop_when_idle = true
+//
+//   [server]
+//   osts = 1
+//   threads = 16
+//   seq_bandwidth_mibps = 1600
+//   rand_bandwidth_mibps = 400
+//   overhead_us = 50
+//
+//   [client]
+//   rpc_size_kib = 1024
+//   max_inflight = 8
+//
+//   [job.1]
+//   name = small
+//   nodes = 1
+//   ; process kinds: "continuous" and "burst". count= replicates the line.
+//   process = continuous total=1024 delay_s=0 count=4
+//   process = burst total=640 burst=64 period_s=5 delay_s=2 count=2 random=true
+//
+// Unknown sections/keys are errors: a typo silently ignored is a wrong
+// experiment silently run.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "workload/scenario.h"
+
+namespace adaptbf {
+
+struct ScenarioLoadResult {
+  std::optional<ScenarioSpec> spec;
+  std::string error;  ///< Empty on success.
+  [[nodiscard]] bool ok() const { return spec.has_value(); }
+};
+
+/// Parses a scenario file's contents.
+[[nodiscard]] ScenarioLoadResult load_scenario(std::string_view text);
+
+/// Reads and parses a scenario file from disk.
+[[nodiscard]] ScenarioLoadResult load_scenario_file(const std::string& path);
+
+/// Renders a spec back to the file format (round-trips through
+/// load_scenario).
+[[nodiscard]] std::string scenario_to_ini(const ScenarioSpec& spec);
+
+}  // namespace adaptbf

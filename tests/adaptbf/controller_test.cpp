@@ -1,0 +1,184 @@
+#include "adaptbf/controller.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "adaptbf/static_controller.h"
+#include "client/client_system.h"
+#include "support/units.h"
+
+namespace adaptbf {
+namespace {
+
+struct Testbed {
+  Simulator sim;
+  std::unique_ptr<Ost> ost;
+  TbfScheduler* tbf = nullptr;
+
+  explicit Testbed(double mib_per_s = 100.0) {
+    Ost::Config config;
+    config.num_threads = 4;
+    config.disk.seq_bandwidth = mib_per_sec(mib_per_s);
+    config.disk.per_rpc_overhead = SimDuration(0);
+    auto scheduler = std::make_unique<TbfScheduler>();
+    tbf = scheduler.get();
+    ost = std::make_unique<Ost>(sim, config, std::move(scheduler));
+  }
+};
+
+AdaptbfController::Config controller_config(double total_rate = 100.0) {
+  AdaptbfController::Config config;
+  config.allocator.total_rate = total_rate;
+  config.allocator.dt = SimDuration::millis(100);
+  return config;
+}
+
+Rpc make_rpc(std::uint64_t id, std::uint32_t job) {
+  Rpc rpc;
+  rpc.id = id;
+  rpc.job = JobId(job);
+  rpc.size_bytes = 1024 * 1024;
+  return rpc;
+}
+
+TEST(AdaptbfController, RunsOneWindowPerPeriod) {
+  Testbed bed;
+  AdaptbfController controller(bed.sim, *bed.ost, *bed.tbf,
+                               controller_config());
+  controller.start();
+  bed.sim.run_until(SimTime::zero() + SimDuration::millis(1000));
+  EXPECT_EQ(controller.windows_run(), 10u);
+}
+
+TEST(AdaptbfController, CreatesRuleForActiveJob) {
+  Testbed bed;
+  AdaptbfController controller(bed.sim, *bed.ost, *bed.tbf,
+                               controller_config());
+  controller.start();
+  bed.ost->submit(make_rpc(1, 1));
+  bed.sim.run_until(SimTime::zero() + SimDuration::millis(150));
+  EXPECT_TRUE(bed.tbf->has_rule("job_1"));
+}
+
+TEST(AdaptbfController, StopsRuleWhenJobGoesIdle) {
+  Testbed bed;
+  AdaptbfController controller(bed.sim, *bed.ost, *bed.tbf,
+                               controller_config());
+  controller.start();
+  bed.ost->submit(make_rpc(1, 1));
+  bed.sim.run_until(SimTime::zero() + SimDuration::millis(150));
+  ASSERT_TRUE(bed.tbf->has_rule("job_1"));
+  // No further I/O: the next window sees the job inactive.
+  bed.sim.run_until(SimTime::zero() + SimDuration::millis(350));
+  EXPECT_FALSE(bed.tbf->has_rule("job_1"));
+}
+
+TEST(AdaptbfController, ClearsWindowStatsEachTick) {
+  Testbed bed;
+  AdaptbfController controller(bed.sim, *bed.ost, *bed.tbf,
+                               controller_config());
+  controller.start();
+  bed.ost->submit(make_rpc(1, 1));
+  bed.sim.run_until(SimTime::zero() + SimDuration::millis(150));
+  EXPECT_TRUE(bed.ost->job_stats().window_snapshot().empty());
+}
+
+TEST(AdaptbfController, ObserverSeesDemand) {
+  Testbed bed;
+  AdaptbfController controller(bed.sim, *bed.ost, *bed.tbf,
+                               controller_config());
+  std::vector<WindowResult> windows;
+  controller.add_observer(
+      [&](const WindowResult& w) { windows.push_back(w); });
+  controller.start();
+  for (std::uint64_t i = 0; i < 5; ++i) bed.ost->submit(make_rpc(i, 1));
+  bed.sim.run_until(SimTime::zero() + SimDuration::millis(100));
+  ASSERT_EQ(windows.size(), 1u);
+  ASSERT_EQ(windows[0].jobs.size(), 1u);
+  EXPECT_DOUBLE_EQ(windows[0].jobs[0].demand, 5.0);
+}
+
+TEST(AdaptbfController, UsesConfiguredNodeCounts) {
+  Testbed bed;
+  auto config = controller_config();
+  config.job_nodes[JobId(1)] = 1;
+  config.job_nodes[JobId(2)] = 3;
+  AdaptbfController controller(bed.sim, *bed.ost, *bed.tbf, config);
+  std::vector<WindowResult> windows;
+  controller.add_observer(
+      [&](const WindowResult& w) { windows.push_back(w); });
+  controller.start();
+  bed.ost->submit(make_rpc(1, 1));
+  bed.ost->submit(make_rpc(2, 2));
+  bed.sim.run_until(SimTime::zero() + SimDuration::millis(100));
+  ASSERT_EQ(windows.size(), 1u);
+  EXPECT_DOUBLE_EQ(windows[0].find(JobId(1))->priority, 0.25);
+  EXPECT_DOUBLE_EQ(windows[0].find(JobId(2))->priority, 0.75);
+}
+
+TEST(AdaptbfController, UnknownJobDefaultsToOneNode) {
+  Testbed bed;
+  AdaptbfController controller(bed.sim, *bed.ost, *bed.tbf,
+                               controller_config());
+  std::vector<WindowResult> windows;
+  controller.add_observer(
+      [&](const WindowResult& w) { windows.push_back(w); });
+  controller.start();
+  bed.ost->submit(make_rpc(1, 77));
+  bed.sim.run_until(SimTime::zero() + SimDuration::millis(100));
+  ASSERT_EQ(windows.size(), 1u);
+  EXPECT_DOUBLE_EQ(windows[0].jobs[0].priority, 1.0);
+}
+
+TEST(AdaptbfController, StopHaltsTheLoop) {
+  Testbed bed;
+  AdaptbfController controller(bed.sim, *bed.ost, *bed.tbf,
+                               controller_config());
+  controller.start();
+  bed.sim.run_until(SimTime::zero() + SimDuration::millis(300));
+  controller.stop();
+  const auto windows = controller.windows_run();
+  bed.sim.run_until(SimTime::zero() + SimDuration::millis(1000));
+  EXPECT_EQ(controller.windows_run(), windows);
+}
+
+TEST(AdaptbfController, ApplyLatencyDefersRuleCreation) {
+  Testbed bed;
+  auto config = controller_config();
+  config.apply_latency = SimDuration::millis(25);
+  AdaptbfController controller(bed.sim, *bed.ost, *bed.tbf, config);
+  controller.start();
+  bed.ost->submit(make_rpc(1, 1));
+  bed.sim.run_until(SimTime::zero() + SimDuration::millis(110));
+  EXPECT_FALSE(bed.tbf->has_rule("job_1"));  // window closed at 100ms
+  bed.sim.run_until(SimTime::zero() + SimDuration::millis(130));
+  EXPECT_TRUE(bed.tbf->has_rule("job_1"));  // applied at 125ms
+}
+
+TEST(StaticBwControllerTest, InstallsPriorityProportionalRules) {
+  Testbed bed;
+  StaticBwController::Config config;
+  config.total_rate = 100.0;
+  config.jobs = {{JobId(1), 1}, {JobId(2), 3}};
+  StaticBwController controller(*bed.tbf, config);
+  controller.install(SimTime::zero());
+  EXPECT_TRUE(bed.tbf->has_rule("static_job_1"));
+  EXPECT_TRUE(bed.tbf->has_rule("static_job_2"));
+  // Throughput check: drain both for 2s; job2 must get ~3x job1's service.
+  for (std::uint64_t i = 0; i < 200; ++i) {
+    bed.ost->submit(make_rpc(2 * i, 1));
+    bed.ost->submit(make_rpc(2 * i + 1, 2));
+  }
+  bed.sim.run_until(SimTime::zero() + SimDuration::seconds(2));
+  const auto* s1 = bed.tbf->rule_stats("static_job_1");
+  const auto* s2 = bed.tbf->rule_stats("static_job_2");
+  ASSERT_NE(s1, nullptr);
+  ASSERT_NE(s2, nullptr);
+  EXPECT_NEAR(static_cast<double>(s2->served) /
+                  static_cast<double>(s1->served),
+              3.0, 0.5);
+}
+
+}  // namespace
+}  // namespace adaptbf

@@ -1,0 +1,111 @@
+// Tests for the §IV-E extension: informed demand estimation (EWMA) in the
+// re-compensation step, replacing the paper's d̄ = d assumption.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "adaptbf/token_allocator.h"
+
+namespace adaptbf {
+namespace {
+
+JobWindowInput job(std::uint32_t id, std::uint32_t nodes, double demand) {
+  return JobWindowInput{JobId(id), nodes, demand};
+}
+
+SimTime t(int window) {
+  return SimTime::zero() + SimDuration::millis(100) * window;
+}
+
+AllocatorConfig ewma_config(double alpha) {
+  AllocatorConfig config;
+  config.total_rate = 1000.0;
+  config.dt = SimDuration::millis(100);
+  config.demand_estimator = DemandEstimator::kEwma;
+  config.ewma_alpha = alpha;
+  return config;
+}
+
+TEST(DemandEstimator, LastWindowTracksDemandExactly) {
+  AllocatorConfig config;
+  config.total_rate = 1000.0;
+  config.dt = SimDuration::millis(100);
+  TokenAllocator allocator(config);
+  (void)allocator.allocate(std::vector<JobWindowInput>{job(1, 1, 40)}, t(1));
+  EXPECT_DOUBLE_EQ(allocator.estimated_demand(JobId(1)), 40.0);
+  (void)allocator.allocate(std::vector<JobWindowInput>{job(1, 1, 200)}, t(2));
+  EXPECT_DOUBLE_EQ(allocator.estimated_demand(JobId(1)), 200.0);
+}
+
+TEST(DemandEstimator, EwmaInitializesToFirstObservation) {
+  TokenAllocator allocator(ewma_config(0.5));
+  (void)allocator.allocate(std::vector<JobWindowInput>{job(1, 1, 80)}, t(1));
+  EXPECT_DOUBLE_EQ(allocator.estimated_demand(JobId(1)), 80.0);
+}
+
+TEST(DemandEstimator, EwmaSmoothsSpikes) {
+  TokenAllocator allocator(ewma_config(0.5));
+  (void)allocator.allocate(std::vector<JobWindowInput>{job(1, 1, 100)}, t(1));
+  (void)allocator.allocate(std::vector<JobWindowInput>{job(1, 1, 0)}, t(2));
+  // 0.5*0 + 0.5*100 = 50: a one-window dropout halves, not zeroes, the
+  // estimate.
+  EXPECT_DOUBLE_EQ(allocator.estimated_demand(JobId(1)), 50.0);
+  (void)allocator.allocate(std::vector<JobWindowInput>{job(1, 1, 0)}, t(3));
+  EXPECT_DOUBLE_EQ(allocator.estimated_demand(JobId(1)), 25.0);
+}
+
+TEST(DemandEstimator, EwmaConvergesToSteadyDemand) {
+  TokenAllocator allocator(ewma_config(0.3));
+  for (int w = 1; w <= 60; ++w)
+    (void)allocator.allocate(std::vector<JobWindowInput>{job(1, 1, 70)},
+                             t(w));
+  EXPECT_NEAR(allocator.estimated_demand(JobId(1)), 70.0, 1e-6);
+}
+
+TEST(DemandEstimator, UnknownJobEstimateIsZero) {
+  TokenAllocator allocator(ewma_config(0.3));
+  EXPECT_DOUBLE_EQ(allocator.estimated_demand(JobId(42)), 0.0);
+}
+
+TEST(DemandEstimator, EstimatorChangesReclaimAmount) {
+  // Construct a lender whose demand was high and just dropped to zero.
+  // Under d̄ = d (last window), ū = 0 so max(0, 1-ū) = 1 pushes C up;
+  // under EWMA the estimate stays high, ū stays high, C is smaller and
+  // the borrower keeps more of its allocation.
+  auto run = [&](DemandEstimator estimator) {
+    AllocatorConfig config;
+    config.total_rate = 1000.0;
+    config.dt = SimDuration::millis(100);
+    config.demand_estimator = estimator;
+    config.ewma_alpha = 0.2;
+    TokenAllocator allocator(config);
+    // Window 1: establish; window 2: job 1 lends while busy elsewhere...
+    (void)allocator.allocate(
+        std::vector<JobWindowInput>{job(1, 1, 100), job(2, 1, 100)}, t(1));
+    (void)allocator.allocate(
+        std::vector<JobWindowInput>{job(1, 1, 10), job(2, 1, 150)}, t(2));
+    // Window 3: lender active with a small demand, far below its EWMA
+    // history — the two estimators now disagree about ū.
+    const auto result = allocator.allocate(
+        std::vector<JobWindowInput>{job(1, 1, 8), job(2, 1, 150)}, t(3));
+    return result.reclaim_coefficient;
+  };
+  const double c_last = run(DemandEstimator::kLastWindow);
+  const double c_ewma = run(DemandEstimator::kEwma);
+  // Under last-window the lender's future utilization looks low (demand
+  // 8 against its allocation), adding a max(0, 1-ū) boost; under EWMA the
+  // remembered high demand suppresses that term, giving a smaller C.
+  EXPECT_GT(c_last, 0.0);
+  EXPECT_GT(c_ewma, 0.0);
+  EXPECT_LT(c_last, 1.0);  // neither saturates at the clamp
+  EXPECT_LT(c_ewma, c_last);
+}
+
+TEST(DemandEstimator, BadAlphaRejected) {
+  AllocatorConfig config;
+  config.ewma_alpha = 0.0;
+  EXPECT_DEATH(TokenAllocator{config}, "ewma_alpha");
+}
+
+}  // namespace
+}  // namespace adaptbf

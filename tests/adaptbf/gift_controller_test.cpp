@@ -1,0 +1,152 @@
+#include "adaptbf/gift_controller.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "support/units.h"
+
+namespace adaptbf {
+namespace {
+
+struct GiftBed {
+  Simulator sim;
+  std::unique_ptr<Ost> ost;
+  TbfScheduler* tbf = nullptr;
+
+  GiftBed() {
+    Ost::Config config;
+    config.num_threads = 4;
+    config.disk.seq_bandwidth = mib_per_sec(100);
+    config.disk.per_rpc_overhead = SimDuration(0);
+    auto scheduler = std::make_unique<TbfScheduler>();
+    tbf = scheduler.get();
+    ost = std::make_unique<Ost>(sim, config, std::move(scheduler));
+  }
+};
+
+GiftController::Config gift_config(double total_rate = 100.0) {
+  GiftController::Config config;
+  config.total_rate = total_rate;
+  config.dt = SimDuration::millis(100);
+  config.per_ost_latency = SimDuration(0);
+  return config;
+}
+
+Rpc make_rpc(std::uint64_t id, std::uint32_t job) {
+  Rpc rpc;
+  rpc.id = id;
+  rpc.job = JobId(job);
+  rpc.size_bytes = 1024 * 1024;
+  return rpc;
+}
+
+TEST(GiftController, EqualSharesIgnorePriority) {
+  GiftBed bed;
+  GiftController gift(bed.sim, {{bed.ost.get(), bed.tbf}}, gift_config());
+  gift.start();
+  // Two jobs, both saturated with more work than the run can drain: GIFT
+  // has no notion of compute nodes, so both progress at the same rate.
+  for (std::uint64_t i = 0; i < 200; ++i) {
+    bed.ost->submit(make_rpc(2 * i, 1));
+    bed.ost->submit(make_rpc(2 * i + 1, 2));
+  }
+  bed.sim.run_until(SimTime::zero() + SimDuration::millis(2000));
+  const auto* c1 = bed.ost->job_stats().cumulative(JobId(1));
+  const auto* c2 = bed.ost->job_stats().cumulative(JobId(2));
+  ASSERT_NE(c1, nullptr);
+  ASSERT_NE(c2, nullptr);
+  EXPECT_GT(c1->rpcs_completed, 50u);  // both made real progress
+  EXPECT_NEAR(static_cast<double>(c1->rpcs_completed),
+              static_cast<double>(c2->rpcs_completed), 8.0);
+}
+
+TEST(GiftController, UnusedShareEarnsCoupons) {
+  GiftBed bed;
+  GiftController gift(bed.sim, {{bed.ost.get(), bed.tbf}}, gift_config());
+  gift.start();
+  // One light job: equal share = full budget (10 tokens/window); using 1
+  // earns ~9 coupons per window.
+  bed.ost->submit(make_rpc(1, 1));
+  bed.sim.run_until(SimTime::zero() + SimDuration::millis(100));
+  EXPECT_NEAR(gift.coupons(JobId(1)), 9.0, 0.5);
+}
+
+TEST(GiftController, CouponsRedeemedWhenDemandRises) {
+  GiftBed bed;
+  GiftController gift(bed.sim, {{bed.ost.get(), bed.tbf}}, gift_config());
+  gift.start();
+  // Window 1: job 1 light (earns coupons), job 2 heavy.
+  bed.ost->submit(make_rpc(1, 1));
+  for (std::uint64_t i = 0; i < 30; ++i) bed.ost->submit(make_rpc(10 + i, 2));
+  bed.sim.run_until(SimTime::zero() + SimDuration::millis(100));
+  const double earned = gift.coupons(JobId(1));
+  EXPECT_GT(earned, 0.0);
+  // Window 2: job 1 turns heavy; its deficit redeems coupons.
+  for (std::uint64_t i = 0; i < 30; ++i)
+    bed.ost->submit(make_rpc(1000 + i, 1));
+  bed.ost->submit(make_rpc(2000, 2));
+  bed.sim.run_until(SimTime::zero() + SimDuration::millis(200));
+  EXPECT_LT(gift.coupons(JobId(1)), earned);
+}
+
+TEST(GiftController, CouponsExpire) {
+  GiftBed bed;
+  auto config = gift_config();
+  config.coupon_expiry = SimDuration::seconds(1);
+  GiftController gift(bed.sim, {{bed.ost.get(), bed.tbf}}, config);
+  gift.start();
+  bed.ost->submit(make_rpc(1, 1));
+  bed.sim.run_until(SimTime::zero() + SimDuration::millis(100));
+  EXPECT_GT(gift.coupons(JobId(1)), 0.0);
+  // No further activity: the account expires.
+  bed.sim.run_until(SimTime::zero() + SimDuration::millis(1300));
+  EXPECT_DOUBLE_EQ(gift.coupons(JobId(1)), 0.0);
+}
+
+TEST(GiftController, CentralBankSharedAcrossTargets) {
+  Simulator sim;
+  Ost::Config ost_config;
+  ost_config.num_threads = 4;
+  ost_config.disk.seq_bandwidth = mib_per_sec(100);
+  ost_config.disk.per_rpc_overhead = SimDuration(0);
+  auto s0 = std::make_unique<TbfScheduler>();
+  auto s1 = std::make_unique<TbfScheduler>();
+  TbfScheduler* tbf0 = s0.get();
+  TbfScheduler* tbf1 = s1.get();
+  Ost ost0(sim, ost_config, std::move(s0));
+  Ost ost1(sim, ost_config, std::move(s1));
+  GiftController gift(sim, {{&ost0, tbf0}, {&ost1, tbf1}}, gift_config());
+  gift.start();
+  // The job earns coupons on BOTH targets; one shared balance grows twice
+  // as fast as the single-target case (~9 x 2).
+  ost0.submit(make_rpc(1, 1));
+  ost1.submit(make_rpc(2, 1));
+  sim.run_until(SimTime::zero() + SimDuration::millis(100));
+  EXPECT_NEAR(gift.coupons(JobId(1)), 18.0, 1.0);
+}
+
+TEST(GiftController, StopsRulesWhenIdle) {
+  GiftBed bed;
+  GiftController gift(bed.sim, {{bed.ost.get(), bed.tbf}}, gift_config());
+  gift.start();
+  bed.ost->submit(make_rpc(1, 1));
+  bed.sim.run_until(SimTime::zero() + SimDuration::millis(100));
+  EXPECT_TRUE(bed.tbf->has_rule("job_1"));
+  bed.sim.run_until(SimTime::zero() + SimDuration::millis(300));
+  EXPECT_FALSE(bed.tbf->has_rule("job_1"));
+}
+
+TEST(GiftController, StopHaltsLoop) {
+  GiftBed bed;
+  GiftController gift(bed.sim, {{bed.ost.get(), bed.tbf}}, gift_config());
+  gift.start();
+  bed.sim.run_until(SimTime::zero() + SimDuration::millis(300));
+  gift.stop();
+  const auto windows = gift.windows_run();
+  bed.sim.run_until(SimTime::zero() + SimDuration::millis(800));
+  EXPECT_EQ(gift.windows_run(), windows);
+}
+
+}  // namespace
+}  // namespace adaptbf

@@ -1,0 +1,137 @@
+#include "adaptbf/rule_daemon.h"
+
+#include <gtest/gtest.h>
+
+namespace adaptbf {
+namespace {
+
+WindowResult window_with(std::vector<std::pair<std::uint32_t, double>> jobs) {
+  WindowResult window;
+  for (auto [id, rate] : jobs) {
+    JobAllocation alloc;
+    alloc.job = JobId(id);
+    alloc.rate = rate;
+    alloc.priority = 1.0 / static_cast<double>(jobs.size());
+    alloc.tokens = static_cast<std::int64_t>(rate / 10.0);
+    window.jobs.push_back(alloc);
+  }
+  return window;
+}
+
+TEST(RuleDaemon, CreatesRulesForNewJobs) {
+  TbfScheduler scheduler;
+  RuleDaemon daemon(scheduler, RuleDaemonConfig{});
+  daemon.apply(window_with({{1, 100.0}, {2, 200.0}}), SimTime::zero());
+  EXPECT_TRUE(scheduler.has_rule("job_1"));
+  EXPECT_TRUE(scheduler.has_rule("job_2"));
+  EXPECT_EQ(daemon.rules_started(), 2u);
+  EXPECT_EQ(daemon.rules_stopped(), 0u);
+}
+
+TEST(RuleDaemon, ReRatesExistingRules) {
+  TbfScheduler scheduler;
+  RuleDaemon daemon(scheduler, RuleDaemonConfig{});
+  daemon.apply(window_with({{1, 100.0}}), SimTime::zero());
+  daemon.apply(window_with({{1, 300.0}}),
+               SimTime::zero() + SimDuration::millis(100));
+  EXPECT_EQ(daemon.rules_started(), 1u);
+  EXPECT_EQ(daemon.rules_changed(), 1u);
+  const RuleStats* stats = scheduler.rule_stats("job_1");
+  ASSERT_NE(stats, nullptr);
+  EXPECT_EQ(stats->rate_changes, 1u);
+}
+
+TEST(RuleDaemon, StopsRulesForInactiveJobs) {
+  TbfScheduler scheduler;
+  RuleDaemon daemon(scheduler, RuleDaemonConfig{});
+  daemon.apply(window_with({{1, 100.0}, {2, 200.0}}), SimTime::zero());
+  daemon.apply(window_with({{2, 200.0}}),
+               SimTime::zero() + SimDuration::millis(100));
+  EXPECT_FALSE(scheduler.has_rule("job_1"));
+  EXPECT_TRUE(scheduler.has_rule("job_2"));
+  EXPECT_EQ(daemon.rules_stopped(), 1u);
+}
+
+TEST(RuleDaemon, MinRateFloorsZeroAllocations) {
+  TbfScheduler scheduler;
+  RuleDaemonConfig config;
+  config.min_rate = 5.0;
+  RuleDaemon daemon(scheduler, config);
+  daemon.apply(window_with({{1, 0.0}}), SimTime::zero());
+  // The rule exists and a queued RPC becomes serviceable within 1/5 s —
+  // i.e. the rate actually applied is the floor, not zero.
+  Rpc rpc;
+  rpc.job = JobId(1);
+  TbfScheduler::Config probe_config;
+  // (enqueue through the same scheduler; bucket starts full so consume one
+  // token immediately, the *next* is paced at min_rate)
+  scheduler.enqueue(rpc, SimTime::zero());
+  EXPECT_TRUE(scheduler.dequeue(SimTime::zero()).has_value());
+}
+
+TEST(RuleDaemon, DoesNotTouchForeignRules) {
+  TbfScheduler scheduler;
+  RuleSpec foreign;
+  foreign.name = "admin_rule";
+  foreign.rate = 1.0;
+  scheduler.start_rule(foreign);
+  RuleDaemon daemon(scheduler, RuleDaemonConfig{});
+  daemon.apply(window_with({{1, 100.0}}), SimTime::zero());
+  daemon.apply(window_with({{2, 100.0}}),
+               SimTime::zero() + SimDuration::millis(100));
+  EXPECT_TRUE(scheduler.has_rule("admin_rule"));
+}
+
+TEST(RuleDaemon, RuleNameUsesPrefix) {
+  TbfScheduler scheduler;
+  RuleDaemonConfig config;
+  config.rule_prefix = "adaptbf_";
+  RuleDaemon daemon(scheduler, config);
+  EXPECT_EQ(daemon.rule_name(JobId(9)), "adaptbf_9");
+  daemon.apply(window_with({{9, 10.0}}), SimTime::zero());
+  EXPECT_TRUE(scheduler.has_rule("adaptbf_9"));
+}
+
+TEST(RuleDaemon, KeepsRuleWhileQueueHasBacklog) {
+  // Regression: a job with no arrivals this window but RPCs still queued
+  // must keep its rule — stopping it would dump the backlog unthrottled
+  // through the fallback path and invert the enforced priorities.
+  TbfScheduler scheduler;
+  RuleDaemon daemon(scheduler, RuleDaemonConfig{});
+  daemon.apply(window_with({{1, 5.0}}), SimTime::zero());  // slow rule
+  // Queue several RPCs; at 5/s almost all remain after one window.
+  for (std::uint64_t i = 0; i < 20; ++i) {
+    Rpc rpc;
+    rpc.id = i;
+    rpc.job = JobId(1);
+    scheduler.enqueue(rpc, SimTime::zero());
+  }
+  (void)scheduler.dequeue(SimTime::zero());  // serve what the burst allows
+  ASSERT_GT(scheduler.queue_backlog(JobId(1)), 0u);
+  // Next window: job inactive (no arrivals) — rule must survive.
+  daemon.apply(WindowResult{}, SimTime::zero() + SimDuration::millis(100));
+  EXPECT_TRUE(scheduler.has_rule("job_1"));
+  EXPECT_EQ(daemon.rules_stopped(), 0u);
+  // Once the queue drains, an inactive window does stop the rule.
+  SimTime now = SimTime::zero();
+  while (scheduler.queue_backlog(JobId(1)) > 0) {
+    now = scheduler.next_ready_time(now);
+    ASSERT_NE(now, SimTime::max());
+    (void)scheduler.dequeue(now);
+  }
+  daemon.apply(WindowResult{}, now + SimDuration::millis(100));
+  EXPECT_FALSE(scheduler.has_rule("job_1"));
+  EXPECT_EQ(daemon.rules_stopped(), 1u);
+}
+
+TEST(RuleDaemon, EmptyWindowStopsEverything) {
+  TbfScheduler scheduler;
+  RuleDaemon daemon(scheduler, RuleDaemonConfig{});
+  daemon.apply(window_with({{1, 10.0}, {2, 10.0}}), SimTime::zero());
+  daemon.apply(WindowResult{}, SimTime::zero() + SimDuration::millis(100));
+  EXPECT_TRUE(scheduler.active_rules().empty());
+  EXPECT_EQ(daemon.rules_stopped(), 2u);
+}
+
+}  // namespace
+}  // namespace adaptbf

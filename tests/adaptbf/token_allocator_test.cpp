@@ -1,0 +1,341 @@
+#include "adaptbf/token_allocator.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace adaptbf {
+namespace {
+
+AllocatorConfig config_1000() {
+  AllocatorConfig config;
+  config.total_rate = 1000.0;                 // T_i = 1000 tokens/s
+  config.dt = SimDuration::millis(100);       // Δt = 100 ms => 100 tokens
+  return config;
+}
+
+JobWindowInput job(std::uint32_t id, std::uint32_t nodes, double demand) {
+  return JobWindowInput{JobId(id), nodes, demand};
+}
+
+SimTime t(int window) {
+  return SimTime::zero() + SimDuration::millis(100) * window;
+}
+
+TEST(TokenAllocator, EmptyWindowReturnsNoJobs) {
+  TokenAllocator allocator(config_1000());
+  const auto result = allocator.allocate({}, t(1));
+  EXPECT_TRUE(result.jobs.empty());
+  EXPECT_DOUBLE_EQ(result.total_tokens, 100.0);
+}
+
+TEST(TokenAllocator, SingleJobGetsWholeBudget) {
+  TokenAllocator allocator(config_1000());
+  const std::vector<JobWindowInput> inputs{job(1, 4, 500.0)};
+  const auto result = allocator.allocate(inputs, t(1));
+  ASSERT_EQ(result.jobs.size(), 1u);
+  EXPECT_DOUBLE_EQ(result.jobs[0].priority, 1.0);
+  EXPECT_EQ(result.jobs[0].tokens, 100);
+  EXPECT_DOUBLE_EQ(result.jobs[0].rate, 1000.0);
+}
+
+TEST(TokenAllocator, InitialAllocationIsPriorityProportional) {
+  // Eq. 1-2: p = n_x / Σn, α = T·p·Δt. All jobs saturated (no surplus),
+  // so redistribution/re-compensation are no-ops.
+  TokenAllocator allocator(config_1000());
+  const std::vector<JobWindowInput> inputs{
+      job(1, 1, 1000.0), job(2, 1, 1000.0), job(3, 3, 1000.0),
+      job(4, 5, 1000.0)};
+  const auto result = allocator.allocate(inputs, t(1));
+  ASSERT_EQ(result.jobs.size(), 4u);
+  EXPECT_DOUBLE_EQ(result.jobs[0].priority, 0.1);
+  EXPECT_DOUBLE_EQ(result.jobs[1].priority, 0.1);
+  EXPECT_DOUBLE_EQ(result.jobs[2].priority, 0.3);
+  EXPECT_DOUBLE_EQ(result.jobs[3].priority, 0.5);
+  EXPECT_EQ(result.jobs[0].tokens, 10);
+  EXPECT_EQ(result.jobs[1].tokens, 10);
+  EXPECT_EQ(result.jobs[2].tokens, 30);
+  EXPECT_EQ(result.jobs[3].tokens, 50);
+}
+
+TEST(TokenAllocator, ResultsSortedByJobId) {
+  TokenAllocator allocator(config_1000());
+  const std::vector<JobWindowInput> inputs{job(9, 1, 10), job(2, 1, 10),
+                                           job(5, 1, 10)};
+  const auto result = allocator.allocate(inputs, t(1));
+  ASSERT_EQ(result.jobs.size(), 3u);
+  EXPECT_EQ(result.jobs[0].job, JobId(2));
+  EXPECT_EQ(result.jobs[1].job, JobId(5));
+  EXPECT_EQ(result.jobs[2].job, JobId(9));
+}
+
+TEST(TokenAllocator, FirstWindowUtilizationIsNeutral) {
+  TokenAllocator allocator(config_1000());
+  const std::vector<JobWindowInput> inputs{job(1, 1, 42.0)};
+  const auto result = allocator.allocate(inputs, t(1));
+  EXPECT_DOUBLE_EQ(result.jobs[0].utilization, 1.0);  // no α_{t-1} yet
+}
+
+TEST(TokenAllocator, UtilizationIsDemandOverPreviousAllocation) {
+  TokenAllocator allocator(config_1000());
+  const std::vector<JobWindowInput> first{job(1, 1, 100.0)};
+  (void)allocator.allocate(first, t(1));  // α_prev becomes 100
+  const std::vector<JobWindowInput> second{job(1, 1, 50.0)};
+  const auto result = allocator.allocate(second, t(2));
+  EXPECT_DOUBLE_EQ(result.jobs[0].utilization, 0.5);  // eq. 3
+}
+
+TEST(TokenAllocator, SurplusFlowsToDeficitJob) {
+  // Window 1 establishes α_prev = 50/50. Window 2: job 1 idles (demand 5),
+  // job 2 wants far more than its 50 => surplus moves 1 -> 2 (eqs. 4-7).
+  TokenAllocator allocator(config_1000());
+  (void)allocator.allocate(
+      std::vector<JobWindowInput>{job(1, 1, 100), job(2, 1, 100)}, t(1));
+  const auto result = allocator.allocate(
+      std::vector<JobWindowInput>{job(1, 1, 5), job(2, 1, 120)}, t(2));
+  const auto* j1 = result.find(JobId(1));
+  const auto* j2 = result.find(JobId(2));
+  ASSERT_NE(j1, nullptr);
+  ASSERT_NE(j2, nullptr);
+  EXPECT_DOUBLE_EQ(j1->initial, 50.0);
+  EXPECT_DOUBLE_EQ(j1->surplus, 45.0);  // α=50, d=5
+  EXPECT_GT(j2->after_redistribution, 90.0);  // most of the 45 surplus
+  EXPECT_LT(j1->after_redistribution, 10.0);
+}
+
+TEST(TokenAllocator, LendingCreatesPositiveRecord) {
+  TokenAllocator allocator(config_1000());
+  (void)allocator.allocate(
+      std::vector<JobWindowInput>{job(1, 1, 100), job(2, 1, 100)}, t(1));
+  const auto result = allocator.allocate(
+      std::vector<JobWindowInput>{job(1, 1, 5), job(2, 1, 120)}, t(2));
+  // Job 1 lent => r > 0; job 2 borrowed => r < 0 (eq. 8).
+  EXPECT_GT(result.find(JobId(1))->record_after, 0.0);
+  EXPECT_LT(result.find(JobId(2))->record_after, 0.0);
+}
+
+TEST(TokenAllocator, RecordDeltasAreZeroSum) {
+  TokenAllocator allocator(config_1000());
+  (void)allocator.allocate(
+      std::vector<JobWindowInput>{job(1, 2, 100), job(2, 1, 100),
+                                  job(3, 1, 100)},
+      t(1));
+  const auto result = allocator.allocate(
+      std::vector<JobWindowInput>{job(1, 2, 3), job(2, 1, 200),
+                                  job(3, 1, 40)},
+      t(2));
+  double sum = 0.0;
+  for (const auto& j : result.jobs) sum += j.record_after;
+  EXPECT_NEAR(sum, 0.0, 1e-9);
+}
+
+TEST(TokenAllocator, DeficitJobPrioritizedInRedistribution) {
+  // Eq. 6: u > 1 jobs get DF = u + u·p, far larger than u·p of
+  // same-utilization fractions. The deficit job must receive the larger
+  // share of surplus.
+  TokenAllocator allocator(config_1000());
+  (void)allocator.allocate(
+      std::vector<JobWindowInput>{job(1, 1, 100), job(2, 1, 100),
+                                  job(3, 2, 100)},
+      t(1));
+  // Job 1 idle (surplus source); job 2 deficit (u=150/25 — wait: α_prev
+  // from window 1 was 25/25/50). Job 2: d=100 vs α_prev=25 => u=4.
+  // Job 3: d=40 vs α_prev=50 => u=0.8 (no deficit).
+  const auto result = allocator.allocate(
+      std::vector<JobWindowInput>{job(1, 1, 2), job(2, 1, 100),
+                                  job(3, 2, 40)},
+      t(2));
+  const auto* j2 = result.find(JobId(2));
+  const auto* j3 = result.find(JobId(3));
+  const double j2_received = j2->after_redistribution - (j2->initial - j2->surplus);
+  const double j3_received = j3->after_redistribution - (j3->initial - j3->surplus);
+  EXPECT_GT(j2_received, j3_received);
+}
+
+TEST(TokenAllocator, RecompensationReturnsTokensToLender) {
+  // Three windows: (1) establish, (2) job 1 lends to job 2,
+  // (3) job 1's demand surges => tokens reclaimed from job 2 (eqs. 9-20).
+  TokenAllocator allocator(config_1000());
+  (void)allocator.allocate(
+      std::vector<JobWindowInput>{job(1, 1, 100), job(2, 1, 100)}, t(1));
+  (void)allocator.allocate(
+      std::vector<JobWindowInput>{job(1, 1, 5), job(2, 1, 120)}, t(2));
+  const double record_before = allocator.record(JobId(1));
+  EXPECT_GT(record_before, 0.0);
+  const auto result = allocator.allocate(
+      std::vector<JobWindowInput>{job(1, 1, 150), job(2, 1, 120)}, t(3));
+  const auto* j1 = result.find(JobId(1));
+  const auto* j2 = result.find(JobId(2));
+  EXPECT_GT(j1->compensated, 0.0);
+  EXPECT_GT(j2->reclaimed, 0.0);
+  // Lender's record shrinks toward zero; borrower's rises toward zero.
+  EXPECT_LT(j1->record_after, record_before);
+  EXPECT_GT(j2->record_after, allocator.record(JobId(2)) - 1e12);  // defined
+}
+
+TEST(TokenAllocator, ReclaimBoundedByBorrowRecord) {
+  // Eq. 14: T_R <= |r|. The borrower can never be charged more than it
+  // borrowed, no matter how large C·α_RD is.
+  TokenAllocator allocator(config_1000());
+  (void)allocator.allocate(
+      std::vector<JobWindowInput>{job(1, 1, 100), job(2, 1, 100)}, t(1));
+  (void)allocator.allocate(
+      std::vector<JobWindowInput>{job(1, 1, 45), job(2, 1, 120)}, t(2));
+  const double borrowed = -allocator.record(JobId(2));
+  ASSERT_GT(borrowed, 0.0);
+  const auto result = allocator.allocate(
+      std::vector<JobWindowInput>{job(1, 1, 500), job(2, 1, 120)}, t(3));
+  const auto* j2 = result.find(JobId(2));
+  EXPECT_LE(j2->reclaimed, borrowed + 1e-9);
+  EXPECT_GE(j2->after_recompensation, 0.0);
+}
+
+TEST(TokenAllocator, NoRecompensationWithoutBothSides) {
+  // A lender with no borrowers (or vice versa) reclaims nothing.
+  TokenAllocator allocator(config_1000());
+  (void)allocator.allocate(std::vector<JobWindowInput>{job(1, 1, 100)}, t(1));
+  const auto result =
+      allocator.allocate(std::vector<JobWindowInput>{job(1, 1, 100)}, t(2));
+  EXPECT_DOUBLE_EQ(result.reclaim_total, 0.0);
+  EXPECT_DOUBLE_EQ(result.jobs[0].reclaimed, 0.0);
+}
+
+TEST(TokenAllocator, IntegerTokensConserveBudget) {
+  // Σ tokens must equal ⌊budget⌋ despite awkward fractions (eq. 21-25).
+  AllocatorConfig config;
+  config.total_rate = 997.0;  // prime => fractional everything
+  config.dt = SimDuration::millis(100);
+  TokenAllocator allocator(config);
+  const std::vector<JobWindowInput> inputs{job(1, 1, 1000), job(2, 1, 1000),
+                                           job(3, 1, 1000)};
+  const auto result = allocator.allocate(inputs, t(1));
+  std::int64_t total = 0;
+  for (const auto& j : result.jobs) total += j.tokens;
+  EXPECT_EQ(total, 99);  // ⌊99.7⌋
+}
+
+TEST(TokenAllocator, RemaindersAccumulateToFairShare) {
+  // 100 tokens across 3 equal saturated jobs = 33.33 each. Over 3 windows
+  // each job must receive 100 +- 1 tokens, not 99 (the naive floor).
+  TokenAllocator allocator(config_1000());
+  std::int64_t totals[3] = {0, 0, 0};
+  for (int window = 1; window <= 3; ++window) {
+    const std::vector<JobWindowInput> inputs{
+        job(1, 1, 1000), job(2, 1, 1000), job(3, 1, 1000)};
+    const auto result = allocator.allocate(inputs, t(window));
+    for (int i = 0; i < 3; ++i) totals[i] += result.jobs[static_cast<size_t>(i)].tokens;
+  }
+  for (const auto total : totals) {
+    EXPECT_GE(total, 99);
+    EXPECT_LE(total, 101);
+  }
+  EXPECT_EQ(totals[0] + totals[1] + totals[2], 300);
+}
+
+TEST(TokenAllocator, RemainderStaysBounded) {
+  TokenAllocator allocator(config_1000());
+  for (int window = 1; window <= 50; ++window) {
+    const std::vector<JobWindowInput> inputs{
+        job(1, 1, 500), job(2, 2, 30), job(3, 4, 700)};
+    (void)allocator.allocate(inputs, t(window));
+    for (std::uint32_t id = 1; id <= 3; ++id) {
+      // Cumulative fair-share drift never exceeds ~2 tokens (see the
+      // property suite for the bound's derivation).
+      EXPECT_GT(allocator.remainder(JobId(id)), -1.0);
+      EXPECT_LT(allocator.remainder(JobId(id)), 2.0);
+    }
+  }
+}
+
+TEST(TokenAllocator, RedistributionDisabledKeepsInitial) {
+  auto config = config_1000();
+  config.enable_redistribution = false;
+  TokenAllocator allocator(config);
+  (void)allocator.allocate(
+      std::vector<JobWindowInput>{job(1, 1, 100), job(2, 1, 100)}, t(1));
+  const auto result = allocator.allocate(
+      std::vector<JobWindowInput>{job(1, 1, 0), job(2, 1, 500)}, t(2));
+  // Without redistribution the idle job keeps its full static share.
+  EXPECT_DOUBLE_EQ(result.find(JobId(1))->after_redistribution, 50.0);
+  EXPECT_DOUBLE_EQ(result.find(JobId(2))->after_redistribution, 50.0);
+  EXPECT_DOUBLE_EQ(result.find(JobId(1))->record_after, 0.0);
+}
+
+TEST(TokenAllocator, RecompensationDisabledNeverReclaims) {
+  auto config = config_1000();
+  config.enable_recompensation = false;
+  TokenAllocator allocator(config);
+  (void)allocator.allocate(
+      std::vector<JobWindowInput>{job(1, 1, 100), job(2, 1, 100)}, t(1));
+  (void)allocator.allocate(
+      std::vector<JobWindowInput>{job(1, 1, 5), job(2, 1, 120)}, t(2));
+  const auto result = allocator.allocate(
+      std::vector<JobWindowInput>{job(1, 1, 500), job(2, 1, 120)}, t(3));
+  EXPECT_DOUBLE_EQ(result.reclaim_total, 0.0);
+  EXPECT_DOUBLE_EQ(result.find(JobId(2))->reclaimed, 0.0);
+}
+
+TEST(TokenAllocator, GarbageCollectionDropsIdleRecords) {
+  AllocatorConfig config = config_1000();
+  config.record_gc_horizon = SimDuration::seconds(1);
+  TokenAllocator allocator(config);
+  (void)allocator.allocate(std::vector<JobWindowInput>{job(1, 1, 100)}, t(1));
+  EXPECT_EQ(allocator.tracked_jobs(), 1u);
+  allocator.collect_garbage(t(1) + SimDuration::seconds(2));
+  EXPECT_EQ(allocator.tracked_jobs(), 0u);
+}
+
+TEST(TokenAllocator, GarbageCollectionKeepsRecentJobs) {
+  AllocatorConfig config = config_1000();
+  config.record_gc_horizon = SimDuration::seconds(10);
+  TokenAllocator allocator(config);
+  (void)allocator.allocate(std::vector<JobWindowInput>{job(1, 1, 100)}, t(1));
+  allocator.collect_garbage(t(2));
+  EXPECT_EQ(allocator.tracked_jobs(), 1u);
+}
+
+TEST(TokenAllocator, ZeroDemandJobYieldsItsTokens) {
+  // A job listed active but with zero demand this window surrenders its
+  // entire initial allocation as surplus.
+  TokenAllocator allocator(config_1000());
+  (void)allocator.allocate(
+      std::vector<JobWindowInput>{job(1, 1, 100), job(2, 1, 100)}, t(1));
+  const auto result = allocator.allocate(
+      std::vector<JobWindowInput>{job(1, 1, 0), job(2, 1, 200)}, t(2));
+  const auto* j1 = result.find(JobId(1));
+  EXPECT_DOUBLE_EQ(j1->surplus, 50.0);
+  EXPECT_EQ(j1->tokens, 0);
+  EXPECT_EQ(result.find(JobId(2))->tokens, 100);
+}
+
+TEST(TokenAllocator, RatesDeriveFromTokensAndDt) {
+  AllocatorConfig config;
+  config.total_rate = 500.0;
+  config.dt = SimDuration::millis(200);  // budget 100 tokens
+  TokenAllocator allocator(config);
+  const auto result =
+      allocator.allocate(std::vector<JobWindowInput>{job(1, 1, 1000)}, t(1));
+  EXPECT_EQ(result.jobs[0].tokens, 100);
+  EXPECT_DOUBLE_EQ(result.jobs[0].rate, 500.0);
+}
+
+TEST(TokenAllocator, ReclaimCoefficientClampedToUnitInterval) {
+  TokenAllocator allocator(config_1000());
+  // Build extreme lender pressure: many high-priority lenders.
+  std::vector<JobWindowInput> first;
+  for (std::uint32_t id = 1; id <= 6; ++id) first.push_back(job(id, 5, 100));
+  (void)allocator.allocate(first, t(1));
+  std::vector<JobWindowInput> second;
+  for (std::uint32_t id = 1; id <= 5; ++id) second.push_back(job(id, 5, 1));
+  second.push_back(job(6, 5, 500));
+  (void)allocator.allocate(second, t(2));
+  std::vector<JobWindowInput> third;
+  for (std::uint32_t id = 1; id <= 5; ++id) third.push_back(job(id, 5, 500));
+  third.push_back(job(6, 5, 500));
+  const auto result = allocator.allocate(third, t(3));
+  EXPECT_GE(result.reclaim_coefficient, 0.0);
+  EXPECT_LE(result.reclaim_coefficient, 1.0);
+}
+
+}  // namespace
+}  // namespace adaptbf

@@ -1,0 +1,78 @@
+#include "client/io_pattern.h"
+
+#include <gtest/gtest.h>
+
+namespace adaptbf {
+namespace {
+
+TEST(ContinuousPattern, ReleasesEverythingOnce) {
+  ContinuousPattern pattern(100, SimDuration(0));
+  auto release = pattern.next_release();
+  ASSERT_TRUE(release.has_value());
+  EXPECT_EQ(release->when, SimTime::zero());
+  EXPECT_EQ(release->count, 100u);
+  EXPECT_FALSE(pattern.next_release().has_value());
+}
+
+TEST(ContinuousPattern, HonorsStartDelay) {
+  ContinuousPattern pattern(10, SimDuration::seconds(20));
+  auto release = pattern.next_release();
+  ASSERT_TRUE(release.has_value());
+  EXPECT_EQ(release->when, SimTime::zero() + SimDuration::seconds(20));
+}
+
+TEST(ContinuousPattern, ZeroTotalReleasesNothing) {
+  ContinuousPattern pattern(0, SimDuration(0));
+  EXPECT_FALSE(pattern.next_release().has_value());
+  EXPECT_EQ(pattern.total_rpcs(), 0u);
+}
+
+TEST(PeriodicBurstPattern, EmitsBurstsAtPeriod) {
+  PeriodicBurstPattern pattern(30, 10, SimDuration::seconds(5),
+                               SimDuration(0));
+  for (int burst = 0; burst < 3; ++burst) {
+    auto release = pattern.next_release();
+    ASSERT_TRUE(release.has_value());
+    EXPECT_EQ(release->when,
+              SimTime::zero() + SimDuration::seconds(5) * burst);
+    EXPECT_EQ(release->count, 10u);
+  }
+  EXPECT_FALSE(pattern.next_release().has_value());
+}
+
+TEST(PeriodicBurstPattern, TruncatesFinalBurst) {
+  PeriodicBurstPattern pattern(25, 10, SimDuration::seconds(1),
+                               SimDuration(0));
+  EXPECT_EQ(pattern.next_release()->count, 10u);
+  EXPECT_EQ(pattern.next_release()->count, 10u);
+  EXPECT_EQ(pattern.next_release()->count, 5u);
+  EXPECT_FALSE(pattern.next_release().has_value());
+}
+
+TEST(PeriodicBurstPattern, StartDelayShiftsAllBursts) {
+  PeriodicBurstPattern pattern(20, 10, SimDuration::seconds(2),
+                               SimDuration::seconds(7));
+  EXPECT_EQ(pattern.next_release()->when,
+            SimTime::zero() + SimDuration::seconds(7));
+  EXPECT_EQ(pattern.next_release()->when,
+            SimTime::zero() + SimDuration::seconds(9));
+}
+
+TEST(PeriodicBurstPattern, TotalRpcsReported) {
+  PeriodicBurstPattern pattern(123, 10, SimDuration::seconds(1),
+                               SimDuration(0));
+  EXPECT_EQ(pattern.total_rpcs(), 123u);
+}
+
+TEST(PeriodicBurstPattern, ReleasesAreTimeOrdered) {
+  PeriodicBurstPattern pattern(1000, 7, SimDuration::millis(250),
+                               SimDuration::millis(30));
+  SimTime last = SimTime::zero();
+  while (auto release = pattern.next_release()) {
+    EXPECT_GE(release->when, last);
+    last = release->when;
+  }
+}
+
+}  // namespace
+}  // namespace adaptbf

@@ -1,0 +1,95 @@
+// Network latency model: closed-loop throughput must obey the
+// bandwidth-delay product, and latency metrics must include wire time.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "client/client_system.h"
+#include "support/units.h"
+#include "tbf/fcfs_scheduler.h"
+
+namespace adaptbf {
+namespace {
+
+Ost::Config fast_ost() {
+  Ost::Config config;
+  config.num_threads = 8;
+  config.disk.seq_bandwidth = mib_per_sec(1000);
+  config.disk.per_rpc_overhead = SimDuration(0);
+  return config;
+}
+
+TEST(NetworkLatency, SingleInflightIsRttBound) {
+  Simulator sim;
+  Ost ost(sim, fast_ost(), std::make_unique<FcfsScheduler>());
+  // 5 ms each way -> RTT 10 ms; service 1 ms. With window 1, each RPC
+  // takes ~11 ms end to end.
+  ClientSystem clients(sim, SimDuration::millis(5));
+  clients.attach_ost(ost);
+  ProcessStream::Config config;
+  config.job = JobId(1);
+  config.max_inflight = 1;
+  config.network_latency = SimDuration::millis(5);
+  clients.add_process(ost, config,
+                      std::make_unique<ContinuousPattern>(50, SimDuration(0)));
+  clients.start_all();
+  sim.run_to_completion();
+  EXPECT_NEAR(sim.now().to_seconds(), 50 * 0.011, 0.01);
+}
+
+TEST(NetworkLatency, LargerWindowHidesLatency) {
+  auto run = [](std::uint32_t window) {
+    Simulator sim;
+    Ost ost(sim, fast_ost(), std::make_unique<FcfsScheduler>());
+    ClientSystem clients(sim, SimDuration::millis(5));
+    clients.attach_ost(ost);
+    ProcessStream::Config config;
+    config.job = JobId(1);
+    config.max_inflight = window;
+    config.network_latency = SimDuration::millis(5);
+    clients.add_process(
+        ost, config, std::make_unique<ContinuousPattern>(100, SimDuration(0)));
+    clients.start_all();
+    sim.run_to_completion();
+    return sim.now().to_seconds();
+  };
+  // Pipelining: a 16-deep window must be several times faster than depth 1.
+  EXPECT_LT(run(16), run(1) / 4.0);
+}
+
+TEST(NetworkLatency, ZeroLatencyUnchangedFromDirectPath) {
+  Simulator sim;
+  Ost ost(sim, fast_ost(), std::make_unique<FcfsScheduler>());
+  ClientSystem clients(sim);  // default zero latency
+  clients.attach_ost(ost);
+  ProcessStream::Config config;
+  config.job = JobId(1);
+  clients.add_process(ost, config,
+                      std::make_unique<ContinuousPattern>(64, SimDuration(0)));
+  clients.start_all();
+  sim.run_to_completion();
+  // 64 MiB at 1000 MiB/s.
+  EXPECT_NEAR(sim.now().to_seconds(), 0.064, 1e-3);
+}
+
+TEST(NetworkLatency, CompletionLatencyIncludesWireTime) {
+  Simulator sim;
+  Ost ost(sim, fast_ost(), std::make_unique<FcfsScheduler>());
+  ClientSystem clients(sim, SimDuration::millis(5));
+  SimDuration observed{0};
+  ost.add_completion_hook([&](const RpcCompletion& completion) {
+    observed = completion.latency();
+  });
+  ProcessStream::Config config;
+  config.job = JobId(1);
+  config.network_latency = SimDuration::millis(5);
+  clients.add_process(ost, config,
+                      std::make_unique<ContinuousPattern>(1, SimDuration(0)));
+  clients.start_all();
+  sim.run_to_completion();
+  // issue -> (5 ms wire) -> 1 ms service; the completion record spans both.
+  EXPECT_NEAR(observed.to_seconds(), 0.006, 1e-4);
+}
+
+}  // namespace
+}  // namespace adaptbf

@@ -1,0 +1,112 @@
+// Fairness-oriented integration tests: Jain's index on delivered bandwidth
+// and long-run share conformance under AdapTBF.
+#include <gtest/gtest.h>
+
+#include "cluster/experiment.h"
+#include "support/stats.h"
+#include "support/units.h"
+
+namespace adaptbf {
+namespace {
+
+ScenarioSpec equal_jobs_scenario(std::size_t num_jobs) {
+  ScenarioSpec spec;
+  spec.name = "equal-jobs";
+  spec.control = BwControl::kAdaptive;
+  spec.num_threads = 8;
+  spec.disk.seq_bandwidth = mib_per_sec(300);
+  spec.disk.per_rpc_overhead = SimDuration(0);
+  spec.duration = SimDuration::seconds(20);
+  spec.stop_when_idle = false;
+  for (std::size_t j = 1; j <= num_jobs; ++j) {
+    JobSpec job;
+    job.id = JobId(static_cast<std::uint32_t>(j));
+    job.name = "Job" + std::to_string(j);
+    job.nodes = 1;
+    for (int p = 0; p < 4; ++p)
+      job.processes.push_back(continuous_pattern(1 << 20));
+    spec.jobs.push_back(job);
+  }
+  return spec;
+}
+
+TEST(Fairness, EqualPrioritySaturatedJobsAreNearPerfectlyFair) {
+  for (std::size_t num_jobs : {2u, 3u, 5u, 8u}) {
+    const auto result = run_experiment(equal_jobs_scenario(num_jobs));
+    std::vector<double> shares;
+    for (const auto& job : result.jobs) shares.push_back(job.mean_mibps);
+    EXPECT_GT(jain_fairness(shares), 0.999) << num_jobs << " jobs";
+  }
+}
+
+TEST(Fairness, WeightedSharesMatchNodeRatios) {
+  ScenarioSpec spec = equal_jobs_scenario(3);
+  spec.jobs[0].nodes = 1;
+  spec.jobs[1].nodes = 2;
+  spec.jobs[2].nodes = 4;
+  const auto result = run_experiment(spec);
+  const double j1 = result.find_job(JobId(1))->mean_mibps;
+  const double j2 = result.find_job(JobId(2))->mean_mibps;
+  const double j3 = result.find_job(JobId(3))->mean_mibps;
+  EXPECT_NEAR(j2 / j1, 2.0, 0.2);
+  EXPECT_NEAR(j3 / j1, 4.0, 0.4);
+}
+
+TEST(Fairness, PoissonTrafficStillGetsItsShare) {
+  // A Poisson job (irregular singles) competing with a saturated streamer:
+  // its delivered throughput must match its offered load (it never wants
+  // more than ~its share), and the streamer takes the rest.
+  ScenarioSpec spec;
+  spec.name = "poisson-vs-stream";
+  spec.control = BwControl::kAdaptive;
+  spec.num_threads = 8;
+  spec.disk.seq_bandwidth = mib_per_sec(300);
+  spec.disk.per_rpc_overhead = SimDuration(0);
+  spec.duration = SimDuration::seconds(20);
+  spec.stop_when_idle = false;
+
+  JobSpec poisson_job;
+  poisson_job.id = JobId(1);
+  poisson_job.name = "poisson";
+  poisson_job.nodes = 1;
+  // ~60 RPC/s offered = 60 MiB/s, well under the 150 MiB/s fair share.
+  poisson_job.processes.push_back(poisson_pattern(1 << 20, 60.0, /*seed=*/5));
+  spec.jobs.push_back(poisson_job);
+
+  JobSpec stream;
+  stream.id = JobId(2);
+  stream.name = "stream";
+  stream.nodes = 1;
+  for (int p = 0; p < 4; ++p)
+    stream.processes.push_back(continuous_pattern(1 << 20));
+  spec.jobs.push_back(stream);
+
+  const auto result = run_experiment(spec);
+  EXPECT_NEAR(result.find_job(JobId(1))->mean_mibps, 60.0, 6.0);
+  // The streamer gets at least its full 50% share plus part of the
+  // surplus. It does NOT absorb everything the Poisson job leaves idle:
+  // re-compensation keeps returning tokens to the (positive-record)
+  // Poisson job in case its demand returns — the deliberate utilization
+  // sacrifice the paper describes for Fig. 5c ("we cannot simply allocate
+  // all unused tokens ... as we assume no knowledge of the job's I/O
+  // pattern").
+  EXPECT_GT(result.find_job(JobId(2))->mean_mibps, 145.0);
+  EXPECT_LT(result.find_job(JobId(2))->mean_mibps, 290.0);
+}
+
+TEST(Fairness, LongRunTokenDeliveryTracksEntitlement) {
+  // Over hundreds of windows, each equal job's cumulative RPCs must stay
+  // within a whisker of 1/n of the total (the eqs. 21-25 guarantee
+  // composed through the full system).
+  const auto result = run_experiment(equal_jobs_scenario(7));
+  std::uint64_t total = 0;
+  for (const auto& job : result.jobs) total += job.rpcs_completed;
+  for (const auto& job : result.jobs) {
+    const double share = static_cast<double>(job.rpcs_completed) /
+                         static_cast<double>(total);
+    EXPECT_NEAR(share, 1.0 / 7.0, 0.01) << job.name;
+  }
+}
+
+}  // namespace
+}  // namespace adaptbf

@@ -1,0 +1,71 @@
+// Decentralization integration test: independent per-OST controllers must
+// compose into globally priority-proportional shares with near-linear
+// aggregate scaling (§III-A's core argument).
+#include <gtest/gtest.h>
+
+#include "cluster/experiment.h"
+#include "support/units.h"
+
+namespace adaptbf {
+namespace {
+
+ScenarioSpec striped_scenario(std::uint32_t num_osts) {
+  ScenarioSpec spec;
+  spec.name = "striped";
+  spec.control = BwControl::kAdaptive;
+  spec.num_osts = num_osts;
+  spec.num_threads = 8;
+  spec.disk.seq_bandwidth = mib_per_sec(200);
+  spec.disk.per_rpc_overhead = SimDuration(0);
+  spec.duration = SimDuration::seconds(20);
+  spec.stop_when_idle = false;
+  // Two saturated jobs at 1:3 priority, 8 procs each so every OST sees
+  // processes of both jobs at every K in {1,2,4}.
+  for (std::uint32_t id = 1; id <= 2; ++id) {
+    JobSpec job;
+    job.id = JobId(id);
+    job.name = "Job" + std::to_string(id);
+    job.nodes = id == 1 ? 1 : 3;
+    for (int p = 0; p < 8; ++p)
+      job.processes.push_back(continuous_pattern(1 << 20));
+    spec.jobs.push_back(job);
+  }
+  return spec;
+}
+
+TEST(MultiOst, AggregateScalesWithTargets) {
+  const auto one = run_experiment(striped_scenario(1));
+  const auto four = run_experiment(striped_scenario(4));
+  EXPECT_GT(four.aggregate_mibps, 3.5 * one.aggregate_mibps);
+}
+
+TEST(MultiOst, GlobalSharesTrackPriorityAtEveryScale) {
+  for (std::uint32_t num_osts : {1u, 2u, 4u}) {
+    const auto result = run_experiment(striped_scenario(num_osts));
+    const double j1 = result.find_job(JobId(1))->mean_mibps;
+    const double j2 = result.find_job(JobId(2))->mean_mibps;
+    // Priority 25% / 75% => ratio 3, tolerate scheduling slack.
+    EXPECT_NEAR(j2 / j1, 3.0, 0.5) << num_osts << " OSTs";
+  }
+}
+
+TEST(MultiOst, AllTargetsDoWork) {
+  // With round-robin process placement every OST must complete bytes —
+  // byte totals only balance if placement actually spread the load.
+  const auto result = run_experiment(striped_scenario(4));
+  // 4 OSTs x 200 MiB/s x 20 s = 16000 MiB upper bound; require at least
+  // 80% of it, impossible if any target idled.
+  EXPECT_GT(to_mib(result.total_bytes), 0.8 * 16000.0);
+}
+
+TEST(MultiOst, TraceFollowsFirstTarget) {
+  const auto result = run_experiment(striped_scenario(2));
+  ASSERT_FALSE(result.allocation_trace.empty());
+  // OST 0 serves half the processes of each job; its window budgets must
+  // reflect the single-target token rate, not the doubled aggregate.
+  const double budget = result.allocation_trace.front().total_tokens;
+  EXPECT_NEAR(budget, result.max_token_rate * 0.1, 1.0);
+}
+
+}  // namespace
+}  // namespace adaptbf

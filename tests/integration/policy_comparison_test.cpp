@@ -1,0 +1,223 @@
+// Scaled-down versions of the paper's §IV scenarios, asserting the
+// *qualitative* claims of each evaluation: priority-ordered shares and high
+// utilization (IV-D), burst protection with small low-priority loss (IV-E),
+// and the lend -> re-compensate record cycle (IV-F).
+#include <gtest/gtest.h>
+
+#include "cluster/experiment.h"
+#include "support/units.h"
+
+namespace adaptbf {
+namespace {
+
+/// IV-D shrunk ~8x: 4 jobs x 4 procs x 256 RPCs, priorities 10/10/30/50.
+ScenarioSpec mini_allocation(BwControl control) {
+  ScenarioSpec spec;
+  spec.name = "mini IV-D";
+  spec.control = control;
+  spec.num_threads = 8;
+  spec.disk.seq_bandwidth = mib_per_sec(400);
+  spec.disk.per_rpc_overhead = SimDuration::micros(50);
+  spec.duration = SimDuration::seconds(40);
+  spec.stop_when_idle = true;
+  const std::uint32_t nodes[] = {1, 1, 3, 5};
+  for (std::uint32_t j = 0; j < 4; ++j) {
+    JobSpec job;
+    job.id = JobId(j + 1);
+    job.name = "Job" + std::to_string(j + 1);
+    job.nodes = nodes[j];
+    for (int p = 0; p < 4; ++p) job.processes.push_back(continuous_pattern(256));
+    spec.jobs.push_back(job);
+  }
+  return spec;
+}
+
+/// IV-E shrunk: 3 bursty high-priority jobs + 1 continuous low-priority.
+ScenarioSpec mini_redistribution(BwControl control) {
+  ScenarioSpec spec;
+  spec.name = "mini IV-E";
+  spec.control = control;
+  spec.num_threads = 8;
+  spec.disk.seq_bandwidth = mib_per_sec(400);
+  spec.disk.per_rpc_overhead = SimDuration::micros(50);
+  spec.duration = SimDuration::seconds(30);
+  spec.stop_when_idle = false;
+  const std::uint64_t bursts[] = {24, 32, 40};
+  for (std::uint32_t j = 0; j < 3; ++j) {
+    JobSpec job;
+    job.id = JobId(j + 1);
+    job.name = "Job" + std::to_string(j + 1);
+    job.nodes = 3;
+    for (int p = 0; p < 2; ++p)
+      job.processes.push_back(
+          burst_pattern(bursts[j] * 12, bursts[j], SimDuration::seconds(3),
+                        SimDuration::seconds(j)));
+    spec.jobs.push_back(job);
+  }
+  JobSpec job4;
+  job4.id = JobId(4);
+  job4.name = "Job4";
+  job4.nodes = 1;
+  for (int p = 0; p < 8; ++p)
+    job4.processes.push_back(continuous_pattern(100000));
+  spec.jobs.push_back(job4);
+  return spec;
+}
+
+/// IV-F shrunk: 4 equal-priority jobs, delayed continuous processes.
+ScenarioSpec mini_recompensation(BwControl control) {
+  ScenarioSpec spec;
+  spec.name = "mini IV-F";
+  spec.control = control;
+  spec.num_threads = 8;
+  spec.disk.seq_bandwidth = mib_per_sec(400);
+  spec.disk.per_rpc_overhead = SimDuration::micros(50);
+  spec.duration = SimDuration::seconds(30);
+  spec.stop_when_idle = false;
+  const std::int64_t delays[] = {5, 12, 20};
+  const std::uint64_t bursts[] = {12, 16, 8};
+  for (std::uint32_t j = 0; j < 3; ++j) {
+    JobSpec job;
+    job.id = JobId(j + 1);
+    job.name = "Job" + std::to_string(j + 1);
+    job.nodes = 1;
+    job.processes.push_back(burst_pattern(bursts[j] * 20, bursts[j],
+                                          SimDuration::seconds(2),
+                                          SimDuration::millis(100)));
+    job.processes.push_back(
+        continuous_pattern(100000, SimDuration::seconds(delays[j])));
+    spec.jobs.push_back(job);
+  }
+  JobSpec job4;
+  job4.id = JobId(4);
+  job4.name = "Job4";
+  job4.nodes = 1;
+  for (int p = 0; p < 8; ++p)
+    job4.processes.push_back(continuous_pattern(100000));
+  spec.jobs.push_back(job4);
+  return spec;
+}
+
+// ---------------- IV-D claims ----------------
+
+TEST(PolicyComparison, AdaptivePriorityOrdersBandwidth) {
+  const auto result = run_experiment(mini_allocation(BwControl::kAdaptive));
+  const auto* j1 = result.find_job(JobId(1));
+  const auto* j3 = result.find_job(JobId(3));
+  const auto* j4 = result.find_job(JobId(4));
+  ASSERT_TRUE(j1 && j3 && j4);
+  // Identical workloads: the higher-priority job must finish no later.
+  ASSERT_TRUE(j1->finished && j3->finished && j4->finished);
+  EXPECT_LE(j4->finish_time.to_seconds(), j3->finish_time.to_seconds() + 0.5);
+  EXPECT_LT(j4->finish_time.to_seconds(), j1->finish_time.to_seconds());
+  EXPECT_LT(j3->finish_time.to_seconds(), j1->finish_time.to_seconds());
+}
+
+TEST(PolicyComparison, NoBwIgnoresPriority) {
+  const auto result = run_experiment(mini_allocation(BwControl::kNone));
+  const auto* j1 = result.find_job(JobId(1));
+  const auto* j4 = result.find_job(JobId(4));
+  ASSERT_TRUE(j1->finished && j4->finished);
+  // FCFS treats equal workloads equally: finish times within 10%.
+  EXPECT_NEAR(j1->finish_time.to_seconds(), j4->finish_time.to_seconds(),
+              0.1 * j4->finish_time.to_seconds());
+}
+
+TEST(PolicyComparison, AdaptiveBeatsStaticAggregate_AllocationScenario) {
+  const auto adaptive = run_experiment(mini_allocation(BwControl::kAdaptive));
+  const auto static_bw = run_experiment(mini_allocation(BwControl::kStatic));
+  // Same total work: AdapTBF must complete it sooner (work conservation
+  // reassigns tokens as jobs finish; static leaves them stranded).
+  EXPECT_LT(adaptive.horizon.to_seconds(), static_bw.horizon.to_seconds());
+}
+
+TEST(PolicyComparison, AdaptiveAggregateNearNoBw_AllocationScenario) {
+  const auto adaptive = run_experiment(mini_allocation(BwControl::kAdaptive));
+  const auto no_bw = run_experiment(mini_allocation(BwControl::kNone));
+  // Fig. 4a: AdapTBF achieves comparable (or better) overall throughput.
+  EXPECT_GT(adaptive.aggregate_mibps, 0.85 * no_bw.aggregate_mibps);
+}
+
+// ---------------- IV-E claims ----------------
+
+TEST(PolicyComparison, AdaptiveProtectsBurstyHighPriorityJobs) {
+  const auto adaptive =
+      run_experiment(mini_redistribution(BwControl::kAdaptive));
+  const auto no_bw = run_experiment(mini_redistribution(BwControl::kNone));
+  // Fig. 6b: high-priority bursty jobs 1-3 gain under AdapTBF vs No BW
+  // (under FCFS the continuous job floods the queue ahead of them).
+  double adaptive_high = 0.0, none_high = 0.0;
+  for (std::uint32_t id = 1; id <= 3; ++id) {
+    adaptive_high += adaptive.find_job(JobId(id))->mean_mibps;
+    none_high += no_bw.find_job(JobId(id))->mean_mibps;
+  }
+  EXPECT_GT(adaptive_high, none_high);
+}
+
+TEST(PolicyComparison, LowPriorityJobStillProgresses) {
+  const auto adaptive =
+      run_experiment(mini_redistribution(BwControl::kAdaptive));
+  const auto* j4 = adaptive.find_job(JobId(4));
+  ASSERT_NE(j4, nullptr);
+  // Work conservation: J4 must absorb idle bandwidth between bursts, well
+  // beyond its 10% static share (400 MiB/s x 10% = 40 MiB/s).
+  EXPECT_GT(j4->mean_mibps, 60.0);
+}
+
+TEST(PolicyComparison, AdaptiveBeatsStaticForLowPriorityJob) {
+  const auto adaptive =
+      run_experiment(mini_redistribution(BwControl::kAdaptive));
+  const auto static_bw =
+      run_experiment(mini_redistribution(BwControl::kStatic));
+  // Fig. 6a: Static BW strands the high-priority jobs' unused tokens; the
+  // continuous low-priority job does far better under AdapTBF.
+  EXPECT_GT(adaptive.find_job(JobId(4))->mean_mibps,
+            static_bw.find_job(JobId(4))->mean_mibps);
+}
+
+// ---------------- IV-F claims ----------------
+
+TEST(PolicyComparison, RecordsShowLendThenRecompensate) {
+  const auto result =
+      run_experiment(mini_recompensation(BwControl::kAdaptive));
+  ASSERT_FALSE(result.allocation_trace.empty());
+  // Job 3 (largest delay, smallest bursts) must accumulate a positive
+  // record early (lending)...
+  double max_early_record = 0.0;
+  for (const auto& window : result.allocation_trace) {
+    if (window.when.to_seconds() > 18.0) break;
+    const auto* j3 = window.find(JobId(3));
+    if (j3 != nullptr)
+      max_early_record = std::max(max_early_record, j3->record_after);
+  }
+  EXPECT_GT(max_early_record, 0.0);
+  // ...and once its continuous process starts (t=20), the record must fall
+  // back toward (or below) zero: tokens were re-compensated.
+  double late_record = max_early_record;
+  for (const auto& window : result.allocation_trace) {
+    if (window.when.to_seconds() < 25.0) continue;
+    const auto* j3 = window.find(JobId(3));
+    if (j3 != nullptr) late_record = std::min(late_record, j3->record_after);
+  }
+  EXPECT_LT(late_record, max_early_record * 0.5);
+}
+
+TEST(PolicyComparison, AdaptiveNearNoBwAggregate_RecompensationScenario) {
+  const auto adaptive =
+      run_experiment(mini_recompensation(BwControl::kAdaptive));
+  const auto no_bw = run_experiment(mini_recompensation(BwControl::kNone));
+  // Fig. 8a: AdapTBF on par with No BW overall.
+  EXPECT_GT(adaptive.aggregate_mibps, 0.8 * no_bw.aggregate_mibps);
+}
+
+TEST(PolicyComparison, StaticDegradesAggregate_RecompensationScenario) {
+  const auto adaptive =
+      run_experiment(mini_recompensation(BwControl::kAdaptive));
+  const auto static_bw =
+      run_experiment(mini_recompensation(BwControl::kStatic));
+  // Fig. 8a: Static BW suffers significant degradation.
+  EXPECT_GT(adaptive.aggregate_mibps, static_bw.aggregate_mibps);
+}
+
+}  // namespace
+}  // namespace adaptbf

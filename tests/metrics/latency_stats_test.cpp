@@ -1,0 +1,82 @@
+#include "metrics/latency_stats.h"
+
+#include <gtest/gtest.h>
+
+namespace adaptbf {
+namespace {
+
+RpcCompletion completion(std::uint32_t job, std::int64_t issue_ms,
+                         std::int64_t start_ms, std::int64_t end_ms) {
+  RpcCompletion c;
+  c.rpc.job = JobId(job);
+  c.rpc.issue_time = SimTime::zero() + SimDuration::millis(issue_ms);
+  c.start_service = SimTime::zero() + SimDuration::millis(start_ms);
+  c.end_service = SimTime::zero() + SimDuration::millis(end_ms);
+  return c;
+}
+
+TEST(LatencyStats, EmptyJobIsZeroSummary) {
+  LatencyStats stats;
+  const auto summary = stats.total_latency(JobId(1));
+  EXPECT_EQ(summary.samples, 0u);
+  EXPECT_DOUBLE_EQ(summary.mean_ms, 0.0);
+}
+
+TEST(LatencyStats, TotalLatencyIsIssueToEnd) {
+  LatencyStats stats;
+  stats.record(completion(1, 0, 10, 30));
+  const auto summary = stats.total_latency(JobId(1));
+  EXPECT_EQ(summary.samples, 1u);
+  EXPECT_DOUBLE_EQ(summary.mean_ms, 30.0);
+  EXPECT_DOUBLE_EQ(summary.max_ms, 30.0);
+}
+
+TEST(LatencyStats, QueueDelayIsIssueToStart) {
+  LatencyStats stats;
+  stats.record(completion(1, 0, 10, 30));
+  EXPECT_DOUBLE_EQ(stats.queue_delay(JobId(1)).mean_ms, 10.0);
+}
+
+TEST(LatencyStats, PercentilesOrdered) {
+  LatencyStats stats;
+  for (int i = 1; i <= 100; ++i) stats.record(completion(1, 0, 0, i));
+  const auto summary = stats.total_latency(JobId(1));
+  EXPECT_EQ(summary.samples, 100u);
+  EXPECT_LE(summary.p50_ms, summary.p95_ms);
+  EXPECT_LE(summary.p95_ms, summary.p99_ms);
+  EXPECT_LE(summary.p99_ms, summary.max_ms);
+  EXPECT_NEAR(summary.p50_ms, 50.5, 1.0);
+  EXPECT_DOUBLE_EQ(summary.max_ms, 100.0);
+}
+
+TEST(LatencyStats, JobsIsolated) {
+  LatencyStats stats;
+  stats.record(completion(1, 0, 0, 10));
+  stats.record(completion(2, 0, 0, 100));
+  EXPECT_DOUBLE_EQ(stats.total_latency(JobId(1)).mean_ms, 10.0);
+  EXPECT_DOUBLE_EQ(stats.total_latency(JobId(2)).mean_ms, 100.0);
+  EXPECT_EQ(stats.samples(JobId(1)), 1u);
+  EXPECT_EQ(stats.samples(JobId(3)), 0u);
+}
+
+TEST(LatencyStats, AllJobsSummaryPoolsSamples) {
+  LatencyStats stats;
+  stats.record(completion(1, 0, 0, 10));
+  stats.record(completion(2, 0, 0, 30));
+  const auto summary = stats.total_latency_all();
+  EXPECT_EQ(summary.samples, 2u);
+  EXPECT_DOUBLE_EQ(summary.mean_ms, 20.0);
+}
+
+TEST(LatencyStats, JobsListedSorted) {
+  LatencyStats stats;
+  stats.record(completion(7, 0, 0, 1));
+  stats.record(completion(3, 0, 0, 1));
+  const auto jobs = stats.jobs();
+  ASSERT_EQ(jobs.size(), 2u);
+  EXPECT_EQ(jobs[0], JobId(3));
+  EXPECT_EQ(jobs[1], JobId(7));
+}
+
+}  // namespace
+}  // namespace adaptbf

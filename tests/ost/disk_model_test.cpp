@@ -1,0 +1,73 @@
+#include "ost/disk_model.h"
+
+#include <gtest/gtest.h>
+
+#include "support/units.h"
+
+namespace adaptbf {
+namespace {
+
+Rpc make_rpc(std::uint32_t size, Locality locality = Locality::kSequential) {
+  Rpc rpc;
+  rpc.size_bytes = size;
+  rpc.locality = locality;
+  return rpc;
+}
+
+TEST(DiskModel, SequentialWorkIsSizePlusOverhead) {
+  DiskModel::Config config;
+  config.seq_bandwidth = mib_per_sec(1000);
+  config.rand_bandwidth = mib_per_sec(250);
+  config.per_rpc_overhead = SimDuration::micros(100);
+  DiskModel disk(config);
+  const double overhead_bytes = 100e-6 * mib_per_sec(1000);
+  EXPECT_NEAR(disk.work_bytes(make_rpc(1024 * 1024)),
+              1024.0 * 1024.0 + overhead_bytes, 1.0);
+}
+
+TEST(DiskModel, RandomWorkInflatedByBandwidthRatio) {
+  DiskModel::Config config;
+  config.seq_bandwidth = mib_per_sec(1000);
+  config.rand_bandwidth = mib_per_sec(250);
+  config.per_rpc_overhead = SimDuration(0);
+  DiskModel disk(config);
+  EXPECT_NEAR(disk.work_bytes(make_rpc(1000, Locality::kRandom)), 4000.0, 1e-6);
+}
+
+TEST(DiskModel, IsolatedServiceTimeMatchesBandwidth) {
+  DiskModel::Config config;
+  config.seq_bandwidth = 1e9;  // 1 GB/s
+  config.per_rpc_overhead = SimDuration(0);
+  DiskModel disk(config);
+  const auto t = disk.isolated_service_time(make_rpc(1'000'000));
+  EXPECT_NEAR(t.to_seconds(), 1e-3, 1e-9);
+}
+
+TEST(DiskModel, RpcsPerSecondInvertsServiceTime) {
+  DiskModel disk;  // defaults
+  const double rate = disk.rpcs_per_second(1024 * 1024, Locality::kSequential);
+  Rpc probe = make_rpc(1024 * 1024);
+  EXPECT_NEAR(rate * disk.isolated_service_time(probe).to_seconds(), 1.0,
+              1e-6);
+}
+
+TEST(DiskModel, RandomCapacityLowerThanSequential) {
+  DiskModel disk;
+  EXPECT_LT(disk.rpcs_per_second(1024 * 1024, Locality::kRandom),
+            disk.rpcs_per_second(1024 * 1024, Locality::kSequential));
+}
+
+TEST(DiskModel, SmallRpcsCostMoreBandwidthPerByte) {
+  // The motivating pathology: many small RPCs waste device time on
+  // overhead, so their byte throughput is far below streaming bandwidth.
+  DiskModel disk;  // 50us overhead default
+  const double small_rate = disk.rpcs_per_second(4096, Locality::kSequential);
+  const double big_rate =
+      disk.rpcs_per_second(1024 * 1024, Locality::kSequential);
+  const double small_bytes_per_sec = small_rate * 4096;
+  const double big_bytes_per_sec = big_rate * 1024 * 1024;
+  EXPECT_LT(small_bytes_per_sec, big_bytes_per_sec / 10.0);
+}
+
+}  // namespace
+}  // namespace adaptbf

@@ -1,0 +1,90 @@
+#include "ost/oss.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "support/units.h"
+#include "tbf/fcfs_scheduler.h"
+#include "tbf/tbf_scheduler.h"
+
+namespace adaptbf {
+namespace {
+
+Oss::Config small_oss(std::uint32_t num_osts) {
+  Oss::Config config;
+  config.num_osts = num_osts;
+  config.ost.num_threads = 2;
+  config.ost.disk.seq_bandwidth = mib_per_sec(100);
+  config.ost.disk.per_rpc_overhead = SimDuration(0);
+  return config;
+}
+
+Rpc make_rpc(std::uint64_t id, std::uint32_t job) {
+  Rpc rpc;
+  rpc.id = id;
+  rpc.job = JobId(job);
+  rpc.size_bytes = 1024 * 1024;
+  return rpc;
+}
+
+TEST(Oss, CreatesRequestedTargets) {
+  Simulator sim;
+  Oss oss(sim, small_oss(3),
+          [](std::uint32_t) { return std::make_unique<FcfsScheduler>(); });
+  EXPECT_EQ(oss.num_osts(), 3u);
+  EXPECT_EQ(oss.ost(0).config().id, 0u);
+  EXPECT_EQ(oss.ost(2).config().id, 2u);
+}
+
+TEST(Oss, TargetsAreIndependentDevices) {
+  Simulator sim;
+  Oss oss(sim, small_oss(2),
+          [](std::uint32_t) { return std::make_unique<FcfsScheduler>(); });
+  // 10 MiB to each OST: with independent 100 MiB/s devices both finish in
+  // 0.1 s. A shared device would need 0.2 s.
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    oss.ost(0).submit(make_rpc(i, 1));
+    oss.ost(1).submit(make_rpc(100 + i, 2));
+  }
+  sim.run_to_completion();
+  EXPECT_NEAR(sim.now().to_seconds(), 0.1, 1e-3);
+  EXPECT_EQ(oss.completed_rpcs(), 20u);
+  EXPECT_EQ(oss.completed_bytes(), 20ull * 1024 * 1024);
+}
+
+TEST(Oss, SchedulerFactoryPerTarget) {
+  Simulator sim;
+  int calls = 0;
+  Oss oss(sim, small_oss(4), [&](std::uint32_t index) {
+    EXPECT_EQ(index, static_cast<std::uint32_t>(calls));
+    ++calls;
+    return std::make_unique<TbfScheduler>();
+  });
+  EXPECT_EQ(calls, 4);
+}
+
+TEST(Oss, CompletionHookSeesAllTargets) {
+  Simulator sim;
+  Oss oss(sim, small_oss(2),
+          [](std::uint32_t) { return std::make_unique<FcfsScheduler>(); });
+  int completions = 0;
+  oss.add_completion_hook([&](const RpcCompletion&) { ++completions; });
+  oss.ost(0).submit(make_rpc(1, 1));
+  oss.ost(1).submit(make_rpc(2, 1));
+  sim.run_to_completion();
+  EXPECT_EQ(completions, 2);
+}
+
+TEST(Oss, PerTargetJobStatsAreSeparate) {
+  Simulator sim;
+  Oss oss(sim, small_oss(2),
+          [](std::uint32_t) { return std::make_unique<FcfsScheduler>(); });
+  oss.ost(0).submit(make_rpc(1, 7));
+  sim.run_to_completion();
+  EXPECT_NE(oss.ost(0).job_stats().cumulative(JobId(7)), nullptr);
+  EXPECT_EQ(oss.ost(1).job_stats().cumulative(JobId(7)), nullptr);
+}
+
+}  // namespace
+}  // namespace adaptbf

@@ -1,0 +1,105 @@
+#include "sim/event_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace adaptbf {
+namespace {
+
+TEST(EventQueue, EmptyAtStart) {
+  EventQueue queue;
+  EXPECT_TRUE(queue.empty());
+  EXPECT_EQ(queue.next_time(), SimTime::max());
+}
+
+TEST(EventQueue, PopsInTimeOrder) {
+  EventQueue queue;
+  std::vector<int> fired;
+  queue.schedule(SimTime(30), [&] { fired.push_back(3); });
+  queue.schedule(SimTime(10), [&] { fired.push_back(1); });
+  queue.schedule(SimTime(20), [&] { fired.push_back(2); });
+  while (!queue.empty()) queue.pop().fn();
+  EXPECT_EQ(fired, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, TiesBreakByInsertionOrder) {
+  EventQueue queue;
+  std::vector<int> fired;
+  for (int i = 0; i < 10; ++i)
+    queue.schedule(SimTime(5), [&fired, i] { fired.push_back(i); });
+  while (!queue.empty()) queue.pop().fn();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(fired[static_cast<size_t>(i)], i);
+}
+
+TEST(EventQueue, CancelPreventsFiring) {
+  EventQueue queue;
+  bool fired = false;
+  const EventId id = queue.schedule(SimTime(10), [&] { fired = true; });
+  EXPECT_TRUE(queue.cancel(id));
+  EXPECT_TRUE(queue.empty());
+  EXPECT_FALSE(fired);
+}
+
+TEST(EventQueue, CancelTwiceFails) {
+  EventQueue queue;
+  const EventId id = queue.schedule(SimTime(10), [] {});
+  EXPECT_TRUE(queue.cancel(id));
+  EXPECT_FALSE(queue.cancel(id));
+}
+
+TEST(EventQueue, CancelAfterFireFails) {
+  EventQueue queue;
+  const EventId id = queue.schedule(SimTime(10), [] {});
+  queue.pop().fn();
+  EXPECT_FALSE(queue.cancel(id));
+}
+
+TEST(EventQueue, CancelMiddleKeepsOrder) {
+  EventQueue queue;
+  std::vector<int> fired;
+  queue.schedule(SimTime(1), [&] { fired.push_back(1); });
+  const EventId id = queue.schedule(SimTime(2), [&] { fired.push_back(2); });
+  queue.schedule(SimTime(3), [&] { fired.push_back(3); });
+  queue.cancel(id);
+  while (!queue.empty()) queue.pop().fn();
+  EXPECT_EQ(fired, (std::vector<int>{1, 3}));
+}
+
+TEST(EventQueue, NextTimeSkipsCancelled) {
+  EventQueue queue;
+  const EventId id = queue.schedule(SimTime(1), [] {});
+  queue.schedule(SimTime(5), [] {});
+  queue.cancel(id);
+  EXPECT_EQ(queue.next_time(), SimTime(5));
+}
+
+TEST(EventQueue, LiveCountTracksCancellations) {
+  EventQueue queue;
+  const EventId a = queue.schedule(SimTime(1), [] {});
+  queue.schedule(SimTime(2), [] {});
+  EXPECT_EQ(queue.live(), 2u);
+  queue.cancel(a);
+  EXPECT_EQ(queue.live(), 1u);
+}
+
+TEST(EventQueue, StressManyRandomOrderings) {
+  EventQueue queue;
+  std::vector<std::int64_t> fired;
+  // Insert with a scrambled deterministic pattern.
+  for (std::int64_t i = 0; i < 1000; ++i) {
+    const std::int64_t t = (i * 7919) % 1000;
+    queue.schedule(SimTime(t), [&fired, t] { fired.push_back(t); });
+  }
+  SimTime last = SimTime::zero();
+  while (!queue.empty()) {
+    auto event = queue.pop();
+    EXPECT_GE(event.time, last);
+    last = event.time;
+    event.fn();
+  }
+  EXPECT_EQ(fired.size(), 1000u);
+}
+
+}  // namespace
+}  // namespace adaptbf

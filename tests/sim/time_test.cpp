@@ -1,0 +1,55 @@
+#include "sim/time.h"
+
+#include <gtest/gtest.h>
+
+namespace adaptbf {
+namespace {
+
+TEST(SimDuration, FactoryUnits) {
+  EXPECT_EQ(SimDuration::nanos(1).ns(), 1);
+  EXPECT_EQ(SimDuration::micros(1).ns(), 1'000);
+  EXPECT_EQ(SimDuration::millis(1).ns(), 1'000'000);
+  EXPECT_EQ(SimDuration::seconds(1).ns(), 1'000'000'000);
+}
+
+TEST(SimDuration, FromSecondsRounds) {
+  EXPECT_EQ(SimDuration::from_seconds(0.1).ns(), 100'000'000);
+  EXPECT_EQ(SimDuration::from_seconds(1e-9).ns(), 1);
+  // Half-nanosecond rounds up.
+  EXPECT_EQ(SimDuration::from_seconds(1.5e-9).ns(), 2);
+}
+
+TEST(SimDuration, Arithmetic) {
+  const auto a = SimDuration::millis(100);
+  const auto b = SimDuration::millis(50);
+  EXPECT_EQ((a + b).ns(), SimDuration::millis(150).ns());
+  EXPECT_EQ((a - b).ns(), SimDuration::millis(50).ns());
+  EXPECT_EQ((a * 3).ns(), SimDuration::millis(300).ns());
+  EXPECT_EQ((a / 4).ns(), SimDuration::millis(25).ns());
+}
+
+TEST(SimDuration, Comparisons) {
+  EXPECT_LT(SimDuration::millis(1), SimDuration::millis(2));
+  EXPECT_EQ(SimDuration::seconds(1), SimDuration::millis(1000));
+}
+
+TEST(SimTime, ZeroAndMax) {
+  EXPECT_EQ(SimTime::zero().ns(), 0);
+  EXPECT_GT(SimTime::max(), SimTime(1'000'000'000'000'000LL));
+}
+
+TEST(SimTime, PlusDurationAndDifference) {
+  const SimTime t0 = SimTime::zero();
+  const SimTime t1 = t0 + SimDuration::seconds(2);
+  EXPECT_EQ((t1 - t0).ns(), SimDuration::seconds(2).ns());
+  EXPECT_DOUBLE_EQ(t1.to_seconds(), 2.0);
+  EXPECT_DOUBLE_EQ(t1.to_millis(), 2000.0);
+}
+
+TEST(SimTime, ToStringFormat) {
+  EXPECT_EQ(to_string(SimTime::zero() + SimDuration::millis(12345)),
+            "12.345s");
+}
+
+}  // namespace
+}  // namespace adaptbf

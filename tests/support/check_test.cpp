@@ -1,0 +1,96 @@
+// Contract-violation (death) tests: the library's preconditions must fail
+// loudly, not corrupt state. One test per representative contract.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "adaptbf/token_allocator.h"
+#include "ost/ost.h"
+#include "sim/simulator.h"
+#include "support/check.h"
+#include "tbf/fcfs_scheduler.h"
+#include "tbf/tbf_scheduler.h"
+
+namespace adaptbf {
+namespace {
+
+TEST(CheckContract, CheckMacroAborts) {
+  EXPECT_DEATH(ADAPTBF_CHECK(1 == 2), "ADAPTBF_CHECK failed");
+  EXPECT_DEATH(ADAPTBF_CHECK_MSG(false, "context note"), "context note");
+}
+
+TEST(CheckContract, CheckPassesSilently) {
+  ADAPTBF_CHECK(true);
+  ADAPTBF_CHECK_MSG(2 + 2 == 4, "never printed");
+}
+
+TEST(CheckContract, SimulatorRejectsPastScheduling) {
+  Simulator sim;
+  sim.run_until(SimTime(100));
+  EXPECT_DEATH(sim.schedule_at(SimTime(50), [] {}), "past");
+}
+
+TEST(CheckContract, SimulatorRejectsNegativeDelay) {
+  Simulator sim;
+  EXPECT_DEATH(sim.schedule_after(SimDuration(-1), [] {}), "negative");
+}
+
+TEST(CheckContract, TokenBucketRejectsNegativeRate) {
+  EXPECT_DEATH(TokenBucket(-1.0, 3.0, SimTime::zero(), 0.0), "non-negative");
+}
+
+TEST(CheckContract, TokenBucketRejectsTimeTravel) {
+  TokenBucket bucket(1.0, 3.0, SimTime(100), 0.0);
+  EXPECT_DEATH(bucket.refill(SimTime(50)), "backwards");
+}
+
+TEST(CheckContract, SchedulerRejectsDuplicateRuleNames) {
+  TbfScheduler scheduler;
+  RuleSpec spec;
+  spec.name = "dup";
+  spec.rate = 1.0;
+  scheduler.start_rule(spec);
+  EXPECT_DEATH(scheduler.start_rule(spec), "duplicate");
+}
+
+TEST(CheckContract, SchedulerRejectsSubTokenDepth) {
+  TbfScheduler scheduler;
+  RuleSpec spec;
+  spec.name = "shallow";
+  spec.rate = 1.0;
+  spec.depth = 0.5;
+  EXPECT_DEATH(scheduler.start_rule(spec), "depth");
+}
+
+TEST(CheckContract, AllocatorRejectsDuplicateJobs) {
+  AllocatorConfig config;
+  TokenAllocator allocator(config);
+  std::vector<JobWindowInput> inputs{{JobId(1), 1, 5.0}, {JobId(1), 2, 6.0}};
+  EXPECT_DEATH((void)allocator.allocate(inputs, SimTime::zero()),
+               "duplicate");
+}
+
+TEST(CheckContract, AllocatorRejectsZeroNodeJobs) {
+  AllocatorConfig config;
+  TokenAllocator allocator(config);
+  std::vector<JobWindowInput> inputs{{JobId(1), 0, 5.0}};
+  EXPECT_DEATH((void)allocator.allocate(inputs, SimTime::zero()),
+               "compute node");
+}
+
+TEST(CheckContract, OstRequiresScheduler) {
+  Simulator sim;
+  Ost::Config config;
+  EXPECT_DEATH(Ost(sim, config, nullptr), "scheduler");
+}
+
+TEST(CheckContract, OstRequiresThreads) {
+  Simulator sim;
+  Ost::Config config;
+  config.num_threads = 0;
+  EXPECT_DEATH(Ost(sim, config, std::make_unique<FcfsScheduler>()),
+               "thread");
+}
+
+}  // namespace
+}  // namespace adaptbf

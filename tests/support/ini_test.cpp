@@ -1,0 +1,101 @@
+#include "support/ini.h"
+
+#include <gtest/gtest.h>
+
+namespace adaptbf {
+namespace {
+
+TEST(Ini, ParsesSectionsAndKeys) {
+  const auto file = IniFile::parse(
+      "[alpha]\n"
+      "key = value\n"
+      "[beta]\n"
+      "x = 1\n");
+  ASSERT_TRUE(file.has_value());
+  EXPECT_EQ(file->sections(), (std::vector<std::string>{"alpha", "beta"}));
+  EXPECT_EQ(file->get("alpha", "key"), "value");
+  EXPECT_EQ(file->get("beta", "x"), "1");
+  EXPECT_FALSE(file->get("alpha", "missing").has_value());
+  EXPECT_TRUE(file->has_section("alpha"));
+  EXPECT_FALSE(file->has_section("gamma"));
+}
+
+TEST(Ini, TrimsWhitespaceAndKeepsInnerSpaces) {
+  const auto file = IniFile::parse("[s]\n  name   =   hello world  \n");
+  ASSERT_TRUE(file.has_value());
+  EXPECT_EQ(file->get("s", "name"), "hello world");
+}
+
+TEST(Ini, CommentsIgnored) {
+  const auto file = IniFile::parse(
+      "# full line\n"
+      "[s]          ; section comment\n"
+      "a = 1        # trailing\n"
+      "; another\n"
+      "b = 2\n");
+  ASSERT_TRUE(file.has_value());
+  EXPECT_EQ(file->get("s", "a"), "1");
+  EXPECT_EQ(file->get("s", "b"), "2");
+}
+
+TEST(Ini, RepeatedKeysCollectInOrder) {
+  const auto file = IniFile::parse(
+      "[job]\n"
+      "process = first\n"
+      "process = second\n"
+      "process = third\n");
+  ASSERT_TRUE(file.has_value());
+  EXPECT_EQ(file->get("job", "process"), "first");
+  EXPECT_EQ(file->get_all("job", "process"),
+            (std::vector<std::string>{"first", "second", "third"}));
+}
+
+TEST(Ini, TypedAccessors) {
+  const auto file = IniFile::parse(
+      "[s]\n"
+      "d = 2.5\n"
+      "i = -42\n"
+      "t = yes\n"
+      "f = off\n"
+      "bad = zebra\n");
+  ASSERT_TRUE(file.has_value());
+  EXPECT_DOUBLE_EQ(*file->get_double("s", "d"), 2.5);
+  EXPECT_EQ(*file->get_int("s", "i"), -42);
+  EXPECT_TRUE(*file->get_bool("s", "t"));
+  EXPECT_FALSE(*file->get_bool("s", "f"));
+  EXPECT_FALSE(file->get_double("s", "bad").has_value());
+  EXPECT_FALSE(file->get_int("s", "d").has_value());  // 2.5 not an int
+  EXPECT_FALSE(file->get_bool("s", "bad").has_value());
+  EXPECT_FALSE(file->get_double("s", "missing").has_value());
+}
+
+TEST(Ini, ErrorsCarryLineNumbers) {
+  std::string error;
+  EXPECT_FALSE(IniFile::parse("[s]\nno equals here\n", &error).has_value());
+  EXPECT_NE(error.find("line 2"), std::string::npos);
+  EXPECT_FALSE(IniFile::parse("[unterminated\n", &error).has_value());
+  EXPECT_FALSE(IniFile::parse("[]\n", &error).has_value());
+  EXPECT_FALSE(IniFile::parse("orphan = 1\n", &error).has_value());
+  EXPECT_NE(error.find("line 1"), std::string::npos);
+}
+
+TEST(Ini, EmptyFileIsValid) {
+  const auto file = IniFile::parse("");
+  ASSERT_TRUE(file.has_value());
+  EXPECT_TRUE(file->sections().empty());
+}
+
+TEST(Ini, KeysListsDuplicates) {
+  const auto file = IniFile::parse("[s]\na = 1\nb = 2\na = 3\n");
+  ASSERT_TRUE(file.has_value());
+  EXPECT_EQ(file->keys("s"), (std::vector<std::string>{"a", "b", "a"}));
+}
+
+TEST(Trim, StripsBothEnds) {
+  EXPECT_EQ(trim("  x  "), "x");
+  EXPECT_EQ(trim("\t\n"), "");
+  EXPECT_EQ(trim("a b"), "a b");
+}
+
+}  // namespace
+}  // namespace adaptbf

@@ -1,0 +1,119 @@
+#include "support/random.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace adaptbf {
+namespace {
+
+TEST(SplitMix64, IsDeterministic) {
+  SplitMix64 a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SplitMix64, DifferentSeedsDiverge) {
+  SplitMix64 a(1), b(2);
+  EXPECT_NE(a.next(), b.next());
+}
+
+TEST(Xoshiro256, IsDeterministicAcrossInstances) {
+  Xoshiro256 a(7), b(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Xoshiro256, KnownFirstValueForSeedZero) {
+  // Regression pin: the sequence must never silently change, or every
+  // randomized experiment stops being reproducible.
+  Xoshiro256 rng(0);
+  const std::uint64_t first = rng.next();
+  Xoshiro256 again(0);
+  EXPECT_EQ(first, again.next());
+  EXPECT_NE(first, rng.next());  // sequence advances
+}
+
+TEST(Xoshiro256, DoubleInUnitInterval) {
+  Xoshiro256 rng(123);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.next_double();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Xoshiro256, DoubleMeanNearHalf) {
+  Xoshiro256 rng(99);
+  double sum = 0.0;
+  constexpr int kSamples = 100000;
+  for (int i = 0; i < kSamples; ++i) sum += rng.next_double();
+  EXPECT_NEAR(sum / kSamples, 0.5, 0.01);
+}
+
+TEST(Xoshiro256, BoundedIntStaysInRange) {
+  Xoshiro256 rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    const std::uint64_t x = rng.next_in(10, 20);
+    EXPECT_GE(x, 10u);
+    EXPECT_LE(x, 20u);
+  }
+}
+
+TEST(Xoshiro256, BoundedIntCoversAllValues) {
+  Xoshiro256 rng(5);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.next_in(0, 7));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Xoshiro256, BoundedIntSingleton) {
+  Xoshiro256 rng(5);
+  EXPECT_EQ(rng.next_in(42, 42), 42u);
+}
+
+TEST(Xoshiro256, BoundedIntFullRangeDoesNotHang) {
+  Xoshiro256 rng(5);
+  (void)rng.next_in(0, ~0ULL);
+}
+
+TEST(Xoshiro256, ExponentialHasRequestedMean) {
+  Xoshiro256 rng(11);
+  double sum = 0.0;
+  constexpr int kSamples = 200000;
+  for (int i = 0; i < kSamples; ++i) sum += rng.next_exponential(3.0);
+  EXPECT_NEAR(sum / kSamples, 3.0, 0.05);
+}
+
+TEST(Xoshiro256, ExponentialIsNonNegative) {
+  Xoshiro256 rng(13);
+  for (int i = 0; i < 10000; ++i) EXPECT_GE(rng.next_exponential(1.0), 0.0);
+}
+
+TEST(Xoshiro256, NormalHasRequestedMoments) {
+  Xoshiro256 rng(17);
+  double sum = 0.0, sum_sq = 0.0;
+  constexpr int kSamples = 200000;
+  for (int i = 0; i < kSamples; ++i) {
+    const double x = rng.next_normal(10.0, 2.0);
+    sum += x;
+    sum_sq += x * x;
+  }
+  const double mean = sum / kSamples;
+  const double var = sum_sq / kSamples - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.05);
+  EXPECT_NEAR(var, 4.0, 0.1);
+}
+
+TEST(Xoshiro256, JumpProducesDisjointStreams) {
+  Xoshiro256 a(21);
+  Xoshiro256 b(21);
+  b.jump();
+  // The jumped stream must differ from the original immediately.
+  bool any_different = false;
+  for (int i = 0; i < 10; ++i)
+    if (a.next() != b.next()) any_different = true;
+  EXPECT_TRUE(any_different);
+}
+
+}  // namespace
+}  // namespace adaptbf

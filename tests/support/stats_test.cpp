@@ -1,0 +1,124 @@
+#include "support/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace adaptbf {
+namespace {
+
+TEST(StreamingStats, EmptyIsZero) {
+  StreamingStats stats;
+  EXPECT_EQ(stats.count(), 0u);
+  EXPECT_DOUBLE_EQ(stats.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.sum(), 0.0);
+}
+
+TEST(StreamingStats, SingleValue) {
+  StreamingStats stats;
+  stats.add(5.0);
+  EXPECT_EQ(stats.count(), 1u);
+  EXPECT_DOUBLE_EQ(stats.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(stats.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.min(), 5.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 5.0);
+}
+
+TEST(StreamingStats, KnownSequence) {
+  StreamingStats stats;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) stats.add(x);
+  EXPECT_DOUBLE_EQ(stats.mean(), 5.0);
+  // Sample variance of the classic sequence: 32/7.
+  EXPECT_NEAR(stats.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(stats.min(), 2.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 9.0);
+  EXPECT_DOUBLE_EQ(stats.sum(), 40.0);
+}
+
+TEST(StreamingStats, MergeMatchesSequential) {
+  StreamingStats left, right, all;
+  for (int i = 0; i < 50; ++i) {
+    const double x = i * 0.37;
+    left.add(x);
+    all.add(x);
+  }
+  for (int i = 50; i < 120; ++i) {
+    const double x = i * 0.37;
+    right.add(x);
+    all.add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), all.count());
+  EXPECT_NEAR(left.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(left.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(left.min(), all.min());
+  EXPECT_DOUBLE_EQ(left.max(), all.max());
+}
+
+TEST(StreamingStats, MergeWithEmptyIsNoop) {
+  StreamingStats stats, empty;
+  stats.add(1.0);
+  stats.add(2.0);
+  stats.merge(empty);
+  EXPECT_EQ(stats.count(), 2u);
+  EXPECT_DOUBLE_EQ(stats.mean(), 1.5);
+}
+
+TEST(StreamingStats, MergeIntoEmptyCopies) {
+  StreamingStats stats, other;
+  other.add(3.0);
+  stats.merge(other);
+  EXPECT_EQ(stats.count(), 1u);
+  EXPECT_DOUBLE_EQ(stats.mean(), 3.0);
+}
+
+TEST(Percentile, MedianOfOddCount) {
+  std::vector<double> v{3.0, 1.0, 2.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 50.0), 2.0);
+}
+
+TEST(Percentile, InterpolatesBetweenRanks) {
+  std::vector<double> v{10.0, 20.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 50.0), 15.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 100.0), 20.0);
+}
+
+TEST(Percentile, SingleElement) {
+  std::vector<double> v{42.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 42.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 99.0), 42.0);
+}
+
+TEST(Percentile, DoesNotMutateInput) {
+  std::vector<double> v{5.0, 1.0, 3.0};
+  (void)percentile(v, 50.0);
+  EXPECT_EQ(v[0], 5.0);
+  EXPECT_EQ(v[1], 1.0);
+  EXPECT_EQ(v[2], 3.0);
+}
+
+TEST(JainFairness, AllEqualIsOne) {
+  std::vector<double> v{4.0, 4.0, 4.0, 4.0};
+  EXPECT_DOUBLE_EQ(jain_fairness(v), 1.0);
+}
+
+TEST(JainFairness, SingleUserDominanceIsOneOverN) {
+  std::vector<double> v{1.0, 0.0, 0.0, 0.0};
+  EXPECT_DOUBLE_EQ(jain_fairness(v), 0.25);
+}
+
+TEST(JainFairness, AllZeroIsDegenerateEqual) {
+  std::vector<double> v{0.0, 0.0};
+  EXPECT_DOUBLE_EQ(jain_fairness(v), 1.0);
+}
+
+TEST(JainFairness, ScaleInvariant) {
+  std::vector<double> a{1.0, 2.0, 3.0};
+  std::vector<double> b{10.0, 20.0, 30.0};
+  EXPECT_NEAR(jain_fairness(a), jain_fairness(b), 1e-12);
+}
+
+}  // namespace
+}  // namespace adaptbf

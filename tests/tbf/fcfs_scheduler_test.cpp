@@ -1,0 +1,48 @@
+#include "tbf/fcfs_scheduler.h"
+
+#include <gtest/gtest.h>
+
+namespace adaptbf {
+namespace {
+
+Rpc make_rpc(std::uint32_t job, std::uint64_t id) {
+  Rpc rpc;
+  rpc.id = id;
+  rpc.job = JobId(job);
+  return rpc;
+}
+
+TEST(FcfsScheduler, EmptyDequeueReturnsNothing) {
+  FcfsScheduler scheduler;
+  EXPECT_FALSE(scheduler.dequeue(SimTime::zero()).has_value());
+  EXPECT_EQ(scheduler.backlog(), 0u);
+}
+
+TEST(FcfsScheduler, ServesInArrivalOrderAcrossJobs) {
+  FcfsScheduler scheduler;
+  scheduler.enqueue(make_rpc(2, 1), SimTime::zero());
+  scheduler.enqueue(make_rpc(1, 2), SimTime::zero());
+  scheduler.enqueue(make_rpc(2, 3), SimTime::zero());
+  EXPECT_EQ(scheduler.dequeue(SimTime::zero())->id, 1u);
+  EXPECT_EQ(scheduler.dequeue(SimTime::zero())->id, 2u);
+  EXPECT_EQ(scheduler.dequeue(SimTime::zero())->id, 3u);
+}
+
+TEST(FcfsScheduler, AlwaysReadyWhenNonEmpty) {
+  FcfsScheduler scheduler;
+  EXPECT_EQ(scheduler.next_ready_time(SimTime(100)), SimTime::max());
+  scheduler.enqueue(make_rpc(1, 1), SimTime(100));
+  EXPECT_EQ(scheduler.next_ready_time(SimTime(100)), SimTime(100));
+}
+
+TEST(FcfsScheduler, BacklogTracksSize) {
+  FcfsScheduler scheduler;
+  for (std::uint64_t i = 0; i < 5; ++i)
+    scheduler.enqueue(make_rpc(1, i), SimTime::zero());
+  EXPECT_EQ(scheduler.backlog(), 5u);
+  (void)scheduler.dequeue(SimTime::zero());
+  EXPECT_EQ(scheduler.backlog(), 4u);
+}
+
+}  // namespace
+}  // namespace adaptbf

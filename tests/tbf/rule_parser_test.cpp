@@ -1,0 +1,140 @@
+#include "tbf/rule_parser.h"
+
+#include <gtest/gtest.h>
+
+namespace adaptbf {
+namespace {
+
+const StartRuleCommand& as_start(const RuleParseResult& result) {
+  EXPECT_TRUE(result.ok()) << result.error;
+  return std::get<StartRuleCommand>(*result.command);
+}
+
+TEST(RuleParser, StartWithFullMatcherAndParams) {
+  const auto result = parse_rule_command(
+      "start hog_limit jobid={17} & opcode={ost_write} rate=50 depth=4 "
+      "rank=-3");
+  const auto& start = as_start(result);
+  EXPECT_EQ(start.spec.name, "hog_limit");
+  EXPECT_DOUBLE_EQ(start.spec.rate, 50.0);
+  EXPECT_DOUBLE_EQ(start.spec.depth, 4.0);
+  EXPECT_EQ(start.spec.rank, -3);
+  Rpc rpc;
+  rpc.job = JobId(17);
+  rpc.opcode = Opcode::kOstWrite;
+  EXPECT_TRUE(start.spec.matcher.matches(rpc));
+  rpc.opcode = Opcode::kOstRead;
+  EXPECT_FALSE(start.spec.matcher.matches(rpc));
+}
+
+TEST(RuleParser, StartWithoutMatcherIsWildcard) {
+  const auto result = parse_rule_command("start catch_all rate=10");
+  const auto& start = as_start(result);
+  EXPECT_TRUE(start.spec.matcher.is_wildcard());
+  EXPECT_DOUBLE_EQ(start.spec.depth, 3.0);  // Lustre default
+  EXPECT_EQ(start.spec.rank, 0);
+}
+
+TEST(RuleParser, MultiValueLists) {
+  const auto result =
+      parse_rule_command("start multi jobid={1,2,3} & nid={0,4} rate=5");
+  const auto& start = as_start(result);
+  Rpc rpc;
+  rpc.job = JobId(2);
+  rpc.nid = Nid(4);
+  EXPECT_TRUE(start.spec.matcher.matches(rpc));
+  rpc.nid = Nid(5);
+  EXPECT_FALSE(start.spec.matcher.matches(rpc));
+}
+
+TEST(RuleParser, FractionalAndScientificRates) {
+  EXPECT_DOUBLE_EQ(as_start(parse_rule_command("start a rate=0.5")).spec.rate,
+                   0.5);
+  EXPECT_DOUBLE_EQ(as_start(parse_rule_command("start b rate=1e3")).spec.rate,
+                   1000.0);
+}
+
+TEST(RuleParser, ChangeCommand) {
+  const auto result = parse_rule_command("change hog_limit rate=75 rank=2");
+  ASSERT_TRUE(result.ok()) << result.error;
+  const auto& change = std::get<ChangeRuleCommand>(*result.command);
+  EXPECT_EQ(change.name, "hog_limit");
+  EXPECT_DOUBLE_EQ(change.rate, 75.0);
+  ASSERT_TRUE(change.rank.has_value());
+  EXPECT_EQ(*change.rank, 2);
+}
+
+TEST(RuleParser, StopCommand) {
+  const auto result = parse_rule_command("  stop hog_limit  ");
+  ASSERT_TRUE(result.ok()) << result.error;
+  EXPECT_EQ(std::get<StopRuleCommand>(*result.command).name, "hog_limit");
+}
+
+TEST(RuleParser, ErrorsAreDescriptive) {
+  EXPECT_NE(parse_rule_command("frobnicate x rate=1").error.find("expected"),
+            std::string::npos);
+  EXPECT_FALSE(parse_rule_command("start x").ok());  // missing rate
+  EXPECT_FALSE(parse_rule_command("start x rate=-5").ok());
+  EXPECT_FALSE(parse_rule_command("start x depth=0.5 rate=1").ok());
+  EXPECT_FALSE(parse_rule_command("start x jobid={zz} rate=1").ok());
+  EXPECT_FALSE(parse_rule_command("start x opcode={bad_op} rate=1").ok());
+  EXPECT_FALSE(parse_rule_command("start x jobid={1 rate=1").ok());
+  EXPECT_FALSE(parse_rule_command("stop x trailing").ok());
+  EXPECT_FALSE(parse_rule_command("change x rate=1 depth=9").ok());
+  EXPECT_FALSE(parse_rule_command("").ok());
+}
+
+TEST(RuleParser, ApplyDrivesScheduler) {
+  TbfScheduler scheduler;
+  EXPECT_EQ(apply_rule_command(scheduler, "start r1 jobid={1} rate=100",
+                               SimTime::zero()),
+            "");
+  EXPECT_TRUE(scheduler.has_rule("r1"));
+  EXPECT_EQ(apply_rule_command(scheduler, "change r1 rate=200",
+                               SimTime::zero()),
+            "");
+  EXPECT_EQ(apply_rule_command(scheduler, "stop r1", SimTime::zero()), "");
+  EXPECT_FALSE(scheduler.has_rule("r1"));
+}
+
+TEST(RuleParser, ApplyReportsDuplicatesAndMissing) {
+  TbfScheduler scheduler;
+  ASSERT_EQ(apply_rule_command(scheduler, "start r1 rate=1", SimTime::zero()),
+            "");
+  EXPECT_NE(apply_rule_command(scheduler, "start r1 rate=2", SimTime::zero()),
+            "");
+  EXPECT_NE(apply_rule_command(scheduler, "change ghost rate=1",
+                               SimTime::zero()),
+            "");
+  EXPECT_NE(apply_rule_command(scheduler, "stop ghost", SimTime::zero()), "");
+  EXPECT_NE(apply_rule_command(scheduler, "not a command", SimTime::zero()),
+            "");
+}
+
+TEST(RuleParser, FormatRoundTrips) {
+  RuleSpec spec;
+  spec.name = "rt";
+  spec.matcher = RpcMatcher::for_job(JobId(3)).add_opcode(Opcode::kOstWrite);
+  spec.rate = 12.5;
+  spec.depth = 8.0;
+  spec.rank = -7;
+  const std::string text = format_rule_spec(spec);
+  const auto reparsed = parse_rule_command(text);
+  const auto& start = as_start(reparsed);
+  EXPECT_EQ(start.spec.name, "rt");
+  EXPECT_DOUBLE_EQ(start.spec.rate, 12.5);
+  EXPECT_DOUBLE_EQ(start.spec.depth, 8.0);
+  EXPECT_EQ(start.spec.rank, -7);
+  EXPECT_EQ(start.spec.matcher.to_string(), spec.matcher.to_string());
+}
+
+TEST(RuleParser, WildcardFormatOmitsMatcher) {
+  RuleSpec spec;
+  spec.name = "w";
+  spec.rate = 1.0;
+  const auto reparsed = parse_rule_command(format_rule_spec(spec));
+  EXPECT_TRUE(as_start(reparsed).spec.matcher.is_wildcard());
+}
+
+}  // namespace
+}  // namespace adaptbf

@@ -1,0 +1,74 @@
+#include "tbf/rule.h"
+
+#include <gtest/gtest.h>
+
+namespace adaptbf {
+namespace {
+
+Rpc make_rpc(std::uint32_t job, std::uint32_t nid = 0,
+             Opcode op = Opcode::kOstWrite) {
+  Rpc rpc;
+  rpc.job = JobId(job);
+  rpc.nid = Nid(nid);
+  rpc.opcode = op;
+  return rpc;
+}
+
+TEST(RpcMatcher, WildcardMatchesEverything) {
+  RpcMatcher matcher;
+  EXPECT_TRUE(matcher.is_wildcard());
+  EXPECT_TRUE(matcher.matches(make_rpc(1)));
+  EXPECT_TRUE(matcher.matches(make_rpc(999, 5, Opcode::kOstRead)));
+}
+
+TEST(RpcMatcher, JobMatcherSelectsJob) {
+  const auto matcher = RpcMatcher::for_job(JobId(7));
+  EXPECT_TRUE(matcher.matches(make_rpc(7)));
+  EXPECT_FALSE(matcher.matches(make_rpc(8)));
+  EXPECT_FALSE(matcher.is_wildcard());
+}
+
+TEST(RpcMatcher, NidMatcherSelectsClient) {
+  const auto matcher = RpcMatcher::for_nid(Nid(3));
+  EXPECT_TRUE(matcher.matches(make_rpc(1, 3)));
+  EXPECT_FALSE(matcher.matches(make_rpc(1, 4)));
+}
+
+TEST(RpcMatcher, OpcodeMatcherSelectsOperation) {
+  const auto matcher = RpcMatcher::for_opcode(Opcode::kOstRead);
+  EXPECT_TRUE(matcher.matches(make_rpc(1, 0, Opcode::kOstRead)));
+  EXPECT_FALSE(matcher.matches(make_rpc(1, 0, Opcode::kOstWrite)));
+}
+
+TEST(RpcMatcher, ConjunctionOfDimensions) {
+  auto matcher = RpcMatcher::for_job(JobId(1)).add_opcode(Opcode::kOstWrite);
+  EXPECT_TRUE(matcher.matches(make_rpc(1, 0, Opcode::kOstWrite)));
+  EXPECT_FALSE(matcher.matches(make_rpc(1, 0, Opcode::kOstRead)));
+  EXPECT_FALSE(matcher.matches(make_rpc(2, 0, Opcode::kOstWrite)));
+}
+
+TEST(RpcMatcher, MultipleJobsActAsUnion) {
+  auto matcher = RpcMatcher::for_job(JobId(1)).add_job(JobId(2));
+  EXPECT_TRUE(matcher.matches(make_rpc(1)));
+  EXPECT_TRUE(matcher.matches(make_rpc(2)));
+  EXPECT_FALSE(matcher.matches(make_rpc(3)));
+}
+
+TEST(RpcMatcher, ToStringWildcard) {
+  EXPECT_EQ(RpcMatcher{}.to_string(), "*");
+}
+
+TEST(RpcMatcher, ToStringExpression) {
+  auto matcher = RpcMatcher::for_job(JobId(3)).add_opcode(Opcode::kOstWrite);
+  EXPECT_EQ(matcher.to_string(), "jobid={3} & opcode={ost_write}");
+}
+
+TEST(Opcode, Names) {
+  EXPECT_EQ(to_string(Opcode::kOstRead), "ost_read");
+  EXPECT_EQ(to_string(Opcode::kOstWrite), "ost_write");
+  EXPECT_EQ(to_string(Opcode::kOstPunch), "ost_punch");
+  EXPECT_EQ(to_string(Opcode::kOstSync), "ost_sync");
+}
+
+}  // namespace
+}  // namespace adaptbf

@@ -1,0 +1,120 @@
+#include "tbf/token_bucket.h"
+
+#include <gtest/gtest.h>
+
+namespace adaptbf {
+namespace {
+
+SimTime at_ms(std::int64_t ms) { return SimTime::zero() + SimDuration::millis(ms); }
+
+TEST(TokenBucket, StartsWithInitialTokens) {
+  TokenBucket bucket(10.0, 3.0, SimTime::zero(), 3.0);
+  EXPECT_DOUBLE_EQ(bucket.tokens(SimTime::zero()), 3.0);
+}
+
+TEST(TokenBucket, InitialClampedToDepth) {
+  TokenBucket bucket(10.0, 3.0, SimTime::zero(), 100.0);
+  EXPECT_DOUBLE_EQ(bucket.tokens(SimTime::zero()), 3.0);
+}
+
+TEST(TokenBucket, AccumulatesAtRate) {
+  TokenBucket bucket(10.0, 100.0, SimTime::zero(), 0.0);
+  EXPECT_NEAR(bucket.tokens(at_ms(500)), 5.0, 1e-9);
+  EXPECT_NEAR(bucket.tokens(at_ms(1000)), 10.0, 1e-9);
+}
+
+TEST(TokenBucket, CapsAtDepth) {
+  TokenBucket bucket(10.0, 3.0, SimTime::zero(), 0.0);
+  EXPECT_DOUBLE_EQ(bucket.tokens(at_ms(10'000)), 3.0);
+}
+
+TEST(TokenBucket, ConsumeReducesTokens) {
+  TokenBucket bucket(0.0, 10.0, SimTime::zero(), 5.0);
+  EXPECT_TRUE(bucket.try_consume(2.0, SimTime::zero()));
+  EXPECT_DOUBLE_EQ(bucket.tokens(SimTime::zero()), 3.0);
+}
+
+TEST(TokenBucket, ConsumeFailsWhenInsufficient) {
+  TokenBucket bucket(0.0, 10.0, SimTime::zero(), 1.0);
+  EXPECT_FALSE(bucket.try_consume(2.0, SimTime::zero()));
+  EXPECT_DOUBLE_EQ(bucket.tokens(SimTime::zero()), 1.0);  // unchanged
+}
+
+TEST(TokenBucket, ConsumeSucceedsAtComputedDeadline) {
+  TokenBucket bucket(10.0, 3.0, SimTime::zero(), 0.0);
+  const SimTime ready = bucket.time_for_tokens(1.0, SimTime::zero());
+  EXPECT_EQ(ready, at_ms(100));
+  EXPECT_TRUE(bucket.try_consume(1.0, ready));
+}
+
+TEST(TokenBucket, DeadlineIsNowWhenTokensAvailable) {
+  TokenBucket bucket(10.0, 3.0, SimTime::zero(), 2.0);
+  EXPECT_EQ(bucket.time_for_tokens(1.0, at_ms(5)), at_ms(5));
+}
+
+TEST(TokenBucket, ZeroRateNeverReady) {
+  TokenBucket bucket(0.0, 3.0, SimTime::zero(), 0.0);
+  EXPECT_EQ(bucket.time_for_tokens(1.0, SimTime::zero()), SimTime::max());
+}
+
+TEST(TokenBucket, RequestBeyondDepthNeverReady) {
+  TokenBucket bucket(10.0, 3.0, SimTime::zero(), 0.0);
+  EXPECT_EQ(bucket.time_for_tokens(4.0, SimTime::zero()), SimTime::max());
+}
+
+TEST(TokenBucket, SetRateAccruesOldRateFirst) {
+  TokenBucket bucket(10.0, 100.0, SimTime::zero(), 0.0);
+  bucket.set_rate(100.0, at_ms(1000));  // 10 tokens accrued at old rate
+  EXPECT_NEAR(bucket.tokens(at_ms(1000)), 10.0, 1e-9);
+  EXPECT_NEAR(bucket.tokens(at_ms(1100)), 20.0, 1e-9);  // new rate
+}
+
+TEST(TokenBucket, SetDepthClampsTokens) {
+  TokenBucket bucket(0.0, 10.0, SimTime::zero(), 8.0);
+  bucket.set_depth(4.0, SimTime::zero());
+  EXPECT_DOUBLE_EQ(bucket.tokens(SimTime::zero()), 4.0);
+}
+
+TEST(TokenBucket, RateLimitsThroughputOverTime) {
+  // Consuming greedily for 10 simulated seconds at rate 7/s from an
+  // initially-empty bucket must yield ~70 tokens, never more than depth
+  // extra — the fundamental TBF guarantee.
+  TokenBucket bucket(7.0, 3.0, SimTime::zero(), 0.0);
+  int consumed = 0;
+  SimTime now = SimTime::zero();
+  const SimTime end = at_ms(10'000);
+  while (now < end) {
+    const SimTime ready = bucket.time_for_tokens(1.0, now);
+    if (ready > end) break;
+    now = ready;
+    ASSERT_TRUE(bucket.try_consume(1.0, now));
+    ++consumed;
+  }
+  EXPECT_GE(consumed, 69);
+  EXPECT_LE(consumed, 71);
+}
+
+TEST(TokenBucket, BurstUpToDepthThenPaced) {
+  TokenBucket bucket(1.0, 3.0, SimTime::zero(), 3.0);
+  // Three immediate consumes (the burst allowance)...
+  EXPECT_TRUE(bucket.try_consume(1.0, SimTime::zero()));
+  EXPECT_TRUE(bucket.try_consume(1.0, SimTime::zero()));
+  EXPECT_TRUE(bucket.try_consume(1.0, SimTime::zero()));
+  // ...then the fourth must wait a full second.
+  EXPECT_FALSE(bucket.try_consume(1.0, SimTime::zero()));
+  EXPECT_EQ(bucket.time_for_tokens(1.0, SimTime::zero()), at_ms(1000));
+}
+
+TEST(TokenBucket, EpsilonToleranceAtExactDeadline) {
+  // A wakeup at the nanosecond-rounded deadline must always succeed even
+  // when floating-point accrual lands a hair short.
+  TokenBucket bucket(3.0, 3.0, SimTime::zero(), 0.0);
+  SimTime now = SimTime::zero();
+  for (int i = 0; i < 1000; ++i) {
+    now = bucket.time_for_tokens(1.0, now);
+    ASSERT_TRUE(bucket.try_consume(1.0, now)) << "iteration " << i;
+  }
+}
+
+}  // namespace
+}  // namespace adaptbf
