@@ -1,0 +1,146 @@
+#include "metrics/sweep_export.h"
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace adaptbf {
+
+namespace {
+
+/// Shortest-round-trip-ish numeric literal, valid JSON and stable CSV.
+/// %.10g keeps full practical precision for MiB/s-scale values while
+/// printing integers without a trailing ".0000000000".
+std::string num(double v) {
+  if (!std::isfinite(v)) return "null";  // JSON has no NaN/Inf.
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.10g", v);
+  return buf;
+}
+
+std::string quote(const std::string& s) {
+  std::string out = "\"";
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+  out += '"';
+  return out;
+}
+
+void append_summary_fields(std::ostringstream& out, const char* prefix,
+                           const SampleSummary& s) {
+  out << '"' << prefix << "_mean\":" << num(s.mean) << ",\"" << prefix
+      << "_stddev\":" << num(s.stddev) << ",\"" << prefix
+      << "_ci95\":" << num(s.ci95_half) << ",\"" << prefix
+      << "_min\":" << num(s.min) << ",\"" << prefix
+      << "_max\":" << num(s.max);
+}
+
+}  // namespace
+
+Table sweep_trials_table(std::span<const TrialResult> trials) {
+  Table table({"trial", "scenario", "policy", "osts", "token_rate",
+               "repetition", "seed", "aggregate_mibps", "fairness", "p50_ms",
+               "p95_ms", "p99_ms", "horizon_s", "total_bytes", "events"});
+  for (const auto& trial : trials) {
+    table.add_row({std::to_string(trial.index), trial.scenario,
+                   std::string(to_string(trial.policy)),
+                   std::to_string(trial.num_osts), num(trial.max_token_rate),
+                   std::to_string(trial.repetition),
+                   std::to_string(trial.seed), num(trial.aggregate_mibps),
+                   num(trial.fairness), num(trial.p50_ms), num(trial.p95_ms),
+                   num(trial.p99_ms), num(trial.horizon_s),
+                   std::to_string(trial.total_bytes),
+                   std::to_string(trial.events_dispatched)});
+  }
+  return table;
+}
+
+Table sweep_cells_table(std::span<const CellStats> cells) {
+  Table table({"scenario", "policy", "osts", "token_rate", "trials",
+               "mibps_mean", "mibps_stddev", "mibps_ci95", "mibps_min",
+               "mibps_max", "fairness_mean", "fairness_stddev", "p99_mean_ms",
+               "p99_ci95_ms", "horizon_s", "total_bytes"});
+  for (const auto& cell : cells) {
+    table.add_row({cell.scenario, std::string(to_string(cell.policy)),
+                   std::to_string(cell.num_osts), num(cell.max_token_rate),
+                   std::to_string(cell.trials), num(cell.aggregate_mibps.mean),
+                   num(cell.aggregate_mibps.stddev),
+                   num(cell.aggregate_mibps.ci95_half),
+                   num(cell.aggregate_mibps.min), num(cell.aggregate_mibps.max),
+                   num(cell.fairness.mean), num(cell.fairness.stddev),
+                   num(cell.p99_ms.mean), num(cell.p99_ms.ci95_half),
+                   num(cell.mean_horizon_s),
+                   std::to_string(cell.total_bytes)});
+  }
+  return table;
+}
+
+std::string sweep_to_json(const std::string& sweep_name,
+                          std::span<const TrialResult> trials,
+                          std::span<const CellStats> cells) {
+  std::ostringstream out;
+  out << "{\"sweep\":" << quote(sweep_name) << ",\"trials\":[";
+  bool first = true;
+  for (const auto& trial : trials) {
+    if (!first) out << ',';
+    first = false;
+    out << "{\"trial\":" << trial.index
+        << ",\"scenario\":" << quote(trial.scenario)
+        << ",\"policy\":" << quote(std::string(to_string(trial.policy)))
+        << ",\"osts\":" << trial.num_osts
+        << ",\"token_rate\":" << num(trial.max_token_rate)
+        << ",\"repetition\":" << trial.repetition
+        << ",\"seed\":" << trial.seed
+        << ",\"aggregate_mibps\":" << num(trial.aggregate_mibps)
+        << ",\"fairness\":" << num(trial.fairness)
+        << ",\"p50_ms\":" << num(trial.p50_ms)
+        << ",\"p95_ms\":" << num(trial.p95_ms)
+        << ",\"p99_ms\":" << num(trial.p99_ms)
+        << ",\"horizon_s\":" << num(trial.horizon_s)
+        << ",\"total_bytes\":" << trial.total_bytes
+        << ",\"events\":" << trial.events_dispatched << ",\"jobs\":[";
+    bool first_job = true;
+    for (const auto& job : trial.jobs) {
+      if (!first_job) out << ',';
+      first_job = false;
+      out << "{\"id\":" << job.id.value() << ",\"name\":" << quote(job.name)
+          << ",\"nodes\":" << job.nodes
+          << ",\"mean_mibps\":" << num(job.mean_mibps)
+          << ",\"rpcs\":" << job.rpcs_completed
+          << ",\"finished\":" << (job.finished ? "true" : "false") << '}';
+    }
+    out << "]}";
+  }
+  out << "],\"cells\":[";
+  first = true;
+  for (const auto& cell : cells) {
+    if (!first) out << ',';
+    first = false;
+    out << "{\"scenario\":" << quote(cell.scenario)
+        << ",\"policy\":" << quote(std::string(to_string(cell.policy)))
+        << ",\"osts\":" << cell.num_osts
+        << ",\"token_rate\":" << num(cell.max_token_rate)
+        << ",\"trials\":" << cell.trials << ',';
+    append_summary_fields(out, "mibps", cell.aggregate_mibps);
+    out << ',';
+    append_summary_fields(out, "fairness", cell.fairness);
+    out << ',';
+    append_summary_fields(out, "p99_ms", cell.p99_ms);
+    out << ",\"horizon_s\":" << num(cell.mean_horizon_s)
+        << ",\"total_bytes\":" << cell.total_bytes << '}';
+  }
+  out << "]}";
+  return out.str();
+}
+
+}  // namespace adaptbf

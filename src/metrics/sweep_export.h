@@ -1,0 +1,34 @@
+// Campaign result export: CSV (via support/table.h) and JSON.
+//
+// Two shapes: the raw per-trial table (one row per seeded run, for
+// re-analysis in pandas/R) and the aggregated per-cell table (one row per
+// grid cell with mean/stddev/95% CI, the numbers a paper reports). The
+// JSON document carries both plus the sweep name.
+//
+// All formatting is a pure function of the values, so exports are
+// byte-identical across runs and worker-thread counts. A max_token_rate
+// of -1 denotes "derived from the disk model" (ScenarioSpec convention).
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "support/table.h"
+#include "sweep/sweep_aggregator.h"
+#include "sweep/sweep_runner.h"
+
+namespace adaptbf {
+
+/// One row per trial, ordered as given (trial-index order from the runner).
+[[nodiscard]] Table sweep_trials_table(std::span<const TrialResult> trials);
+
+/// One row per grid cell with aggregate statistics.
+[[nodiscard]] Table sweep_cells_table(std::span<const CellStats> cells);
+
+/// Full campaign document:
+///   {"sweep": name, "trials": [...], "cells": [...]}
+[[nodiscard]] std::string sweep_to_json(const std::string& sweep_name,
+                                        std::span<const TrialResult> trials,
+                                        std::span<const CellStats> cells);
+
+}  // namespace adaptbf

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cctype>
+#include <charconv>
 #include <cstdlib>
 
 namespace adaptbf {
@@ -13,6 +14,21 @@ std::string_view trim(std::string_view text) {
   while (!text.empty() && std::isspace(static_cast<unsigned char>(text.back())))
     text.remove_suffix(1);
   return text;
+}
+
+bool parse_u64(std::string_view text, std::uint64_t& out) {
+  const char* begin = text.data();
+  const char* end = begin + text.size();
+  auto [ptr, ec] = std::from_chars(begin, end, out);
+  return ec == std::errc{} && ptr == end && !text.empty();
+}
+
+bool parse_double(std::string_view text, double& out) {
+  // strtod needs a terminated buffer; values are short, the copy is cheap.
+  const std::string buffer(text);
+  char* end = nullptr;
+  out = std::strtod(buffer.c_str(), &end);
+  return !buffer.empty() && end == buffer.c_str() + buffer.size();
 }
 
 namespace {

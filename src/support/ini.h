@@ -7,6 +7,7 @@
 // need them, and a parser this small is easy to audit.
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -57,5 +58,11 @@ class IniFile {
 
 /// Trims ASCII whitespace from both ends.
 [[nodiscard]] std::string_view trim(std::string_view text);
+
+/// Strict numeric parsers shared by the scenario/sweep loaders: the whole
+/// string must be consumed, else false. (IniFile's typed getters wrap
+/// these; the loaders also need them for key=value word lists.)
+[[nodiscard]] bool parse_u64(std::string_view text, std::uint64_t& out);
+[[nodiscard]] bool parse_double(std::string_view text, double& out);
 
 }  // namespace adaptbf

@@ -2,11 +2,18 @@
 
 #include <atomic>
 #include <cstdio>
+#include <mutex>
+#include <string>
 
 namespace adaptbf {
 
 namespace {
 std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
+
+/// Serializes sink writes. Concurrent sweep trials log from worker
+/// threads; without this the prefix/body/newline fprintf calls of two
+/// messages could interleave on stderr.
+std::mutex g_sink_mutex;
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -30,13 +37,21 @@ LogLevel log_level() {
 
 void log_message(LogLevel level, std::string_view tag, const char* fmt, ...) {
   if (static_cast<int>(level) < g_level.load(std::memory_order_relaxed)) return;
-  std::fprintf(stderr, "[%s] %.*s: ", level_name(level),
-               static_cast<int>(tag.size()), tag.data());
+
+  // Format the whole line first so the sink sees one atomic write.
   va_list args;
   va_start(args, fmt);
-  std::vfprintf(stderr, fmt, args);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  const int body_len = std::vsnprintf(nullptr, 0, fmt, args_copy);
+  va_end(args_copy);
+  std::string body(body_len > 0 ? static_cast<std::size_t>(body_len) : 0, '\0');
+  if (body_len > 0) std::vsnprintf(body.data(), body.size() + 1, fmt, args);
   va_end(args);
-  std::fputc('\n', stderr);
+
+  std::lock_guard<std::mutex> lock(g_sink_mutex);
+  std::fprintf(stderr, "[%s] %.*s: %s\n", level_name(level),
+               static_cast<int>(tag.size()), tag.data(), body.c_str());
 }
 
 }  // namespace adaptbf

@@ -27,6 +27,20 @@ class SplitMix64 {
   std::uint64_t state_;
 };
 
+/// Derives an independent stream seed from a base seed and a stream index
+/// (trial number, worker id, ...). Mixing both through SplitMix64 gives
+/// well-separated xoshiro256** states even for adjacent indices, so
+/// concurrent trials can each own a private generator with no shared
+/// mutable state. Thread-safe: pure function of its arguments.
+[[nodiscard]] constexpr std::uint64_t derive_stream_seed(
+    std::uint64_t base_seed, std::uint64_t stream_index) {
+  SplitMix64 sm(base_seed);
+  // Decorrelate the index before combining: adjacent indices must not
+  // produce adjacent SplitMix64 states.
+  SplitMix64 ix(stream_index ^ 0x6a09e667f3bcc909ULL);
+  return sm.next() ^ ix.next();
+}
+
 /// xoshiro256**: fast, high-quality 64-bit PRNG with 2^256-1 period.
 class Xoshiro256 {
  public:

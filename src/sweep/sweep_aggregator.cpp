@@ -1,0 +1,102 @@
+#include "sweep/sweep_aggregator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "support/stats.h"
+
+namespace adaptbf {
+
+SampleSummary summarize_samples(std::span<const double> values) {
+  SampleSummary summary;
+  if (values.empty()) return summary;
+  StreamingStats stats;
+  for (const double v : values) stats.add(v);
+  summary.n = stats.count();
+  summary.mean = stats.mean();
+  summary.stddev = stats.stddev();
+  summary.min = stats.min();
+  summary.max = stats.max();
+  if (summary.n >= 2) {
+    summary.ci95_half = student_t95(summary.n - 1) * summary.stddev /
+                        std::sqrt(static_cast<double>(summary.n));
+  }
+  return summary;
+}
+
+double student_t95(std::size_t df) {
+  // Two-sided 95% (alpha/2 = .025) critical values.
+  static constexpr double kTable[] = {
+      0.0,    12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365,
+      2.306,  2.262,  2.228, 2.201, 2.179, 2.160, 2.145, 2.131,
+      2.120,  2.110,  2.101, 2.093, 2.086, 2.080, 2.074, 2.069,
+      2.064,  2.060,  2.056, 2.052, 2.048, 2.045, 2.042};
+  if (df == 0) return 0.0;
+  if (df <= 30) return kTable[df];
+  // Conservative between sparse rows: use the next LOWER df's (larger)
+  // value so reported intervals never understate uncertainty.
+  if (df < 40) return kTable[30];
+  if (df < 60) return 2.021;
+  if (df < 120) return 2.000;
+  if (df < 1000) return 1.980;
+  return 1.962;  // t at df=1000; still >= the limit 1.960 beyond.
+}
+
+std::string CellStats::cell_id() const {
+  TrialSpec key;
+  key.scenario = scenario;
+  key.policy = policy;
+  key.num_osts = num_osts;
+  key.max_token_rate = max_token_rate;
+  return key.cell_id();
+}
+
+std::vector<CellStats> aggregate_sweep(std::span<const TrialResult> trials) {
+  // Bucket trial indices per cell, keeping first-appearance cell order.
+  struct Bucket {
+    std::vector<const TrialResult*> members;
+  };
+  std::vector<std::string> order;
+  std::unordered_map<std::string, Bucket> buckets;
+  for (const auto& trial : trials) {
+    const std::string id = trial.cell_id();
+    auto [it, inserted] = buckets.try_emplace(id);
+    if (inserted) order.push_back(id);
+    it->second.members.push_back(&trial);
+  }
+
+  std::vector<CellStats> cells;
+  cells.reserve(order.size());
+  for (const auto& id : order) {
+    const Bucket& bucket = buckets.at(id);
+    CellStats cell;
+    const TrialResult& first = *bucket.members.front();
+    cell.scenario = first.scenario;
+    cell.policy = first.policy;
+    cell.num_osts = first.num_osts;
+    cell.max_token_rate = first.max_token_rate;
+    cell.trials = bucket.members.size();
+
+    std::vector<double> mibps, fairness, p99;
+    mibps.reserve(cell.trials);
+    fairness.reserve(cell.trials);
+    p99.reserve(cell.trials);
+    double horizon_sum = 0.0;
+    for (const TrialResult* trial : bucket.members) {
+      mibps.push_back(trial->aggregate_mibps);
+      fairness.push_back(trial->fairness);
+      p99.push_back(trial->p99_ms);
+      horizon_sum += trial->horizon_s;
+      cell.total_bytes += trial->total_bytes;
+    }
+    cell.aggregate_mibps = summarize_samples(mibps);
+    cell.fairness = summarize_samples(fairness);
+    cell.p99_ms = summarize_samples(p99);
+    cell.mean_horizon_s = horizon_sum / static_cast<double>(cell.trials);
+    cells.push_back(std::move(cell));
+  }
+  return cells;
+}
+
+}  // namespace adaptbf

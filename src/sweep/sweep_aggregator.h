@@ -1,0 +1,60 @@
+// Aggregation of seeded repetitions into per-cell statistics.
+//
+// A "cell" is one grid coordinate (scenario, policy, OST count, token
+// rate); its trials differ only in repetition seed. The aggregator reports
+// mean / sample stddev / 95% confidence half-width (Student t) for the
+// headline metrics, Jain fairness across jobs, and tail latency — the
+// numbers a campaign exists to produce.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "sweep/sweep_runner.h"
+
+namespace adaptbf {
+
+/// Mean/stddev/CI of one metric across a cell's repetitions.
+struct SampleSummary {
+  std::size_t n = 0;
+  double mean = 0.0;
+  double stddev = 0.0;    ///< Sample stddev (n-1 divisor); 0 when n < 2.
+  double ci95_half = 0.0; ///< t_{.975,n-1} * stddev / sqrt(n); 0 when n < 2.
+  double min = 0.0;
+  double max = 0.0;
+};
+
+/// Summarizes raw samples. Empty input gives an all-zero summary.
+[[nodiscard]] SampleSummary summarize_samples(std::span<const double> values);
+
+/// Two-sided 95% Student t critical value for `df` degrees of freedom.
+/// Exact table for df <= 30; conservative (next lower df, i.e. never
+/// understating the interval) between table rows; 1.962 asymptotically.
+/// df = 0 returns 0 (CI undefined for n = 1).
+[[nodiscard]] double student_t95(std::size_t df);
+
+struct CellStats {
+  std::string scenario;
+  BwControl policy = BwControl::kNone;
+  std::uint32_t num_osts = 1;
+  double max_token_rate = -1.0;
+  std::size_t trials = 0;
+
+  SampleSummary aggregate_mibps;
+  SampleSummary fairness;
+  SampleSummary p99_ms;
+  double mean_horizon_s = 0.0;
+  std::uint64_t total_bytes = 0;  ///< Summed over repetitions.
+
+  [[nodiscard]] std::string cell_id() const;
+};
+
+/// Groups trials into cells (first-appearance order, which for an
+/// expand()ed sweep is grid order) and computes per-cell statistics.
+/// Deterministic: depends only on the trial list, not execution order.
+[[nodiscard]] std::vector<CellStats> aggregate_sweep(
+    std::span<const TrialResult> trials);
+
+}  // namespace adaptbf

@@ -1,0 +1,54 @@
+// Sweep file format: declarative campaign descriptions on disk.
+//
+// Example (see examples/sweeps/*.ini for complete files):
+//
+//   [sweep]
+//   name = paper_campaign
+//   policies = static, adaptive     ; comma list: none|static|adaptive|gift
+//   scenario = token_allocation     ; builtin paper scenario, or a path to
+//   scenario = custom/noisy.ini     ; a scenario_io.h file (repeatable)
+//   repetitions = 4                 ; seeded repetitions per grid cell
+//   base_seed = 42
+//   start_jitter_ms = 200           ; optional per-process start jitter
+//   duration_s = 20                 ; optional campaign-wide duration cap
+//
+//   [grid]                          ; optional extra axes
+//   osts = 1, 2
+//   token_rate = 1200, 1600
+//
+//   [output]                        ; optional default export paths
+//   csv = campaign.csv
+//   json = campaign.json
+//
+// Builtin scenario names: token_allocation, redistribution,
+// recompensation (the paper's §IV-D/E/F workloads). Any other value is
+// treated as a scenario file path, resolved relative to the sweep file.
+// Unknown sections/keys are errors, same stance as scenario_io.h.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "sweep/sweep_spec.h"
+
+namespace adaptbf {
+
+struct SweepLoadResult {
+  std::optional<SweepSpec> spec;
+  std::string error;      ///< Empty on success.
+  std::string csv_path;   ///< From [output] csv; empty if absent.
+  std::string json_path;  ///< From [output] json; empty if absent.
+  [[nodiscard]] bool ok() const { return spec.has_value(); }
+};
+
+/// Parses a sweep file's contents. `base_dir` prefixes relative scenario
+/// file paths (pass the sweep file's directory; empty = cwd).
+[[nodiscard]] SweepLoadResult load_sweep(std::string_view text,
+                                         const std::string& base_dir = "");
+
+/// Reads and parses a sweep file from disk. Scenario paths resolve
+/// relative to the sweep file's directory.
+[[nodiscard]] SweepLoadResult load_sweep_file(const std::string& path);
+
+}  // namespace adaptbf

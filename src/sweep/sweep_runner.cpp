@@ -1,0 +1,107 @@
+#include "sweep/sweep_runner.h"
+
+#include <atomic>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+#include "support/stats.h"
+
+namespace adaptbf {
+
+std::string TrialResult::cell_id() const {
+  TrialSpec key;
+  key.scenario = scenario;
+  key.policy = policy;
+  key.num_osts = num_osts;
+  key.max_token_rate = max_token_rate;
+  return key.cell_id();
+}
+
+TrialResult summarize_trial(const TrialSpec& trial,
+                            const ExperimentResult& result) {
+  TrialResult out;
+  out.index = trial.index;
+  out.scenario = trial.scenario;
+  out.policy = trial.policy;
+  out.num_osts = trial.num_osts;
+  out.max_token_rate = trial.max_token_rate;
+  out.repetition = trial.repetition;
+  out.seed = trial.seed;
+
+  out.aggregate_mibps = result.aggregate_mibps;
+  std::vector<double> per_job;
+  per_job.reserve(result.jobs.size());
+  for (const auto& job : result.jobs) per_job.push_back(job.mean_mibps);
+  out.fairness = jain_fairness(per_job);
+  const LatencySummary latency = result.latency.total_latency_all();
+  out.p50_ms = latency.p50_ms;
+  out.p95_ms = latency.p95_ms;
+  out.p99_ms = latency.p99_ms;
+  out.horizon_s = result.horizon.to_seconds();
+  out.total_bytes = result.total_bytes;
+  out.events_dispatched = result.events_dispatched;
+  out.jobs = result.jobs;
+  return out;
+}
+
+SweepRunner::SweepRunner() : SweepRunner(Options{}) {}
+
+SweepRunner::SweepRunner(Options options) : options_(std::move(options)) {}
+
+std::vector<TrialResult> SweepRunner::run(const SweepSpec& sweep) const {
+  return run(sweep.expand());
+}
+
+std::vector<TrialResult> SweepRunner::run(
+    const std::vector<TrialSpec>& trials) const {
+  std::vector<TrialResult> results(trials.size());
+  if (trials.empty()) return results;
+
+  std::uint32_t workers = options_.threads;
+  if (workers == 0) {
+    workers = std::thread::hardware_concurrency();
+    if (workers == 0) workers = 1;
+  }
+  if (workers > trials.size())
+    workers = static_cast<std::uint32_t>(trials.size());
+
+  // Work-stealing by atomic index: no queue, no locks on the hot path.
+  // Each worker runs whole trials; a trial's Simulator is confined to the
+  // worker that claimed it, so the single-threaded simulator invariants
+  // hold and results land in their index's slot regardless of timing.
+  std::atomic<std::size_t> next{0};
+  std::size_t completed = 0;  // Guarded by progress_mutex.
+  std::mutex progress_mutex;
+
+  auto worker_loop = [&]() {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= trials.size()) return;
+      const ExperimentResult result =
+          run_experiment(trials[i].spec, options_.experiment);
+      results[i] = summarize_trial(trials[i], result);
+      if (options_.on_trial_done) {
+        // Count inside the lock so callbacks see a strictly increasing
+        // 1..total sequence even when workers finish back to back.
+        std::lock_guard<std::mutex> lock(progress_mutex);
+        options_.on_trial_done(++completed, trials.size(), results[i]);
+      }
+    }
+  };
+
+  if (workers == 1) {
+    // Run inline: no thread spawn, and exceptions (CHECK aborts aside)
+    // surface directly — handy under a debugger.
+    worker_loop();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (std::uint32_t w = 0; w < workers; ++w)
+      pool.emplace_back(worker_loop);
+    for (auto& thread : pool) thread.join();
+  }
+  return results;
+}
+
+}  // namespace adaptbf

@@ -1,0 +1,81 @@
+// Parallel campaign execution.
+//
+// Trials are embarrassingly parallel: each owns a private single-threaded
+// Simulator, so N workers give linear speedup while every trial stays
+// bit-for-bit deterministic. Workers claim trial indices from an atomic
+// counter and write results into a pre-sized slot vector, so the returned
+// vector is ordered by trial index and identical for any worker count.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "cluster/experiment.h"
+#include "sweep/sweep_spec.h"
+
+namespace adaptbf {
+
+/// Summary of one executed trial. Carries the grid coordinates (not the
+/// materialized spec) plus the scalar metrics the aggregator consumes.
+struct TrialResult {
+  std::size_t index = 0;
+  std::string scenario;
+  BwControl policy = BwControl::kNone;
+  std::uint32_t num_osts = 1;
+  double max_token_rate = -1.0;
+  std::uint32_t repetition = 0;
+  std::uint64_t seed = 0;
+
+  double aggregate_mibps = 0.0;
+  /// Jain's index over per-job achieved bandwidth: 1 = perfectly fair.
+  double fairness = 0.0;
+  /// Total RPC latency percentiles across all jobs (ms).
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+  double p99_ms = 0.0;
+  double horizon_s = 0.0;
+  std::uint64_t total_bytes = 0;
+  std::uint64_t events_dispatched = 0;
+  std::vector<JobSummary> jobs;  ///< Ascending JobId, as in ExperimentResult.
+
+  [[nodiscard]] std::string cell_id() const;
+};
+
+/// Computes the TrialResult summary for one finished experiment.
+[[nodiscard]] TrialResult summarize_trial(const TrialSpec& trial,
+                                          const ExperimentResult& result);
+
+class SweepRunner {
+ public:
+  struct Options {
+    /// Worker threads; 0 picks std::thread::hardware_concurrency().
+    std::uint32_t threads = 0;
+    /// Per-trial experiment options. The allocation trace defaults OFF for
+    /// sweeps (memory ~ jobs x windows x trials would be unbounded on a
+    /// campaign; summaries carry everything the aggregator needs).
+    ExperimentOptions experiment{.capture_allocation_trace = false};
+    /// Called after each trial completes, serialized under a mutex.
+    /// `completed` counts finished trials, not the finished trial's index.
+    std::function<void(std::size_t completed, std::size_t total,
+                       const TrialResult& result)>
+        on_trial_done;
+  };
+
+  SweepRunner();
+  explicit SweepRunner(Options options);
+
+  /// Expands and runs the full grid. Results are ordered by trial index
+  /// and bit-identical regardless of the worker-thread count.
+  [[nodiscard]] std::vector<TrialResult> run(const SweepSpec& sweep) const;
+
+  /// Runs an explicit trial list (already expanded).
+  [[nodiscard]] std::vector<TrialResult> run(
+      const std::vector<TrialSpec>& trials) const;
+
+ private:
+  Options options_;
+};
+
+}  // namespace adaptbf

@@ -1,6 +1,5 @@
 #include "workload/scenario_io.h"
 
-#include <charconv>
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
@@ -46,19 +45,6 @@ bool parse_kv_words(std::string_view text,
   return true;
 }
 
-bool to_u64(const std::string& value, std::uint64_t& out) {
-  const char* begin = value.c_str();
-  const char* end = begin + value.size();
-  auto [ptr, ec] = std::from_chars(begin, end, out);
-  return ec == std::errc{} && ptr == end;
-}
-
-bool to_double(const std::string& value, double& out) {
-  char* end = nullptr;
-  out = std::strtod(value.c_str(), &end);
-  return !value.empty() && end == value.c_str() + value.size();
-}
-
 /// Parses one `process =` value into a pattern plus replication count.
 bool parse_process(std::string_view text, ProcessPattern& pattern,
                    std::uint64_t& count, std::string& error) {
@@ -80,7 +66,7 @@ bool parse_process(std::string_view text, ProcessPattern& pattern,
   auto take_u64 = [&](const char* key, std::uint64_t& out) {
     auto it = kv.find(key);
     if (it == kv.end()) return true;
-    if (!to_u64(it->second, out)) {
+    if (!parse_u64(it->second, out)) {
       error = std::string("bad number for '") + key + "'";
       return false;
     }
@@ -90,7 +76,7 @@ bool parse_process(std::string_view text, ProcessPattern& pattern,
                            SimDuration& out) {
     if (auto it = kv.find(sec_key); it != kv.end()) {
       double seconds = 0.0;
-      if (!to_double(it->second, seconds) || seconds < 0.0) {
+      if (!parse_double(it->second, seconds) || seconds < 0.0) {
         error = std::string("bad duration for '") + sec_key + "'";
         return false;
       }
@@ -98,7 +84,7 @@ bool parse_process(std::string_view text, ProcessPattern& pattern,
     }
     if (auto it = kv.find(ms_key); it != kv.end()) {
       double ms = 0.0;
-      if (!to_double(it->second, ms) || ms < 0.0) {
+      if (!parse_double(it->second, ms) || ms < 0.0) {
         error = std::string("bad duration for '") + ms_key + "'";
         return false;
       }
@@ -137,7 +123,7 @@ bool parse_process(std::string_view text, ProcessPattern& pattern,
   if (kind == "poisson") {
     pattern.kind = ProcessPattern::Kind::kPoisson;
     if (auto it = kv.find("rate"); it != kv.end()) {
-      if (!to_double(it->second, pattern.poisson_rate) ||
+      if (!parse_double(it->second, pattern.poisson_rate) ||
           pattern.poisson_rate <= 0.0) {
         error = "poisson process needs rate=N > 0";
         return false;
@@ -309,7 +295,7 @@ ScenarioLoadResult load_scenario(std::string_view text) {
     if (section.rfind("job.", 0) != 0) continue;
     const std::string id_text = section.substr(4);
     std::uint64_t id = 0;
-    if (!to_u64(id_text, id) || id == 0 || id >= JobId::kInvalid)
+    if (!parse_u64(id_text, id) || id == 0 || id >= JobId::kInvalid)
       return fail("bad job id in [" + section + "]");
     JobSpec job;
     job.id = JobId(static_cast<std::uint32_t>(id));

@@ -1,0 +1,148 @@
+#include "sweep/sweep_aggregator.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace adaptbf {
+namespace {
+
+TEST(SummarizeSamples, EmptyIsAllZero) {
+  const SampleSummary s = summarize_samples({});
+  EXPECT_EQ(s.n, 0u);
+  EXPECT_DOUBLE_EQ(s.mean, 0.0);
+  EXPECT_DOUBLE_EQ(s.ci95_half, 0.0);
+}
+
+TEST(SummarizeSamples, SingleSampleHasNoSpread) {
+  const std::vector<double> v{42.0};
+  const SampleSummary s = summarize_samples(v);
+  EXPECT_EQ(s.n, 1u);
+  EXPECT_DOUBLE_EQ(s.mean, 42.0);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+  EXPECT_DOUBLE_EQ(s.ci95_half, 0.0);
+  EXPECT_DOUBLE_EQ(s.min, 42.0);
+  EXPECT_DOUBLE_EQ(s.max, 42.0);
+}
+
+TEST(SummarizeSamples, HandComputedClassicSequence) {
+  // The classic sequence: mean 5, sample variance 32/7.
+  const std::vector<double> v{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  const SampleSummary s = summarize_samples(v);
+  EXPECT_EQ(s.n, 8u);
+  EXPECT_DOUBLE_EQ(s.mean, 5.0);
+  const double stddev = std::sqrt(32.0 / 7.0);
+  EXPECT_NEAR(s.stddev, stddev, 1e-12);
+  // 95% CI half-width with df=7: t=2.365.
+  EXPECT_NEAR(s.ci95_half, 2.365 * stddev / std::sqrt(8.0), 1e-12);
+  EXPECT_DOUBLE_EQ(s.min, 2.0);
+  EXPECT_DOUBLE_EQ(s.max, 9.0);
+}
+
+TEST(SummarizeSamples, TwoSamplesHandComputed) {
+  // n=2: mean 15, stddev sqrt(50) = 7.0710678...; df=1 -> t=12.706.
+  const std::vector<double> v{10.0, 20.0};
+  const SampleSummary s = summarize_samples(v);
+  EXPECT_DOUBLE_EQ(s.mean, 15.0);
+  EXPECT_NEAR(s.stddev, std::sqrt(50.0), 1e-12);
+  EXPECT_NEAR(s.ci95_half, 12.706 * std::sqrt(50.0) / std::sqrt(2.0), 1e-9);
+}
+
+TEST(StudentT95, TableValuesAndAsymptote) {
+  EXPECT_DOUBLE_EQ(student_t95(0), 0.0);
+  EXPECT_DOUBLE_EQ(student_t95(1), 12.706);
+  EXPECT_DOUBLE_EQ(student_t95(7), 2.365);
+  EXPECT_DOUBLE_EQ(student_t95(30), 2.042);
+  // Between rows the next LOWER df's larger value applies (conservative).
+  EXPECT_DOUBLE_EQ(student_t95(35), 2.042);
+  EXPECT_DOUBLE_EQ(student_t95(40), 2.021);
+  EXPECT_DOUBLE_EQ(student_t95(119), 2.000);
+  EXPECT_DOUBLE_EQ(student_t95(120), 1.980);
+  EXPECT_DOUBLE_EQ(student_t95(1000), 1.962);
+  // Never below the true value at any df (the normal limit is 1.9600).
+  EXPECT_GT(student_t95(100000), 1.9599);
+}
+
+TEST(StudentT95, MonotonicallyNonIncreasing) {
+  for (std::size_t df = 1; df < 200; ++df)
+    EXPECT_GE(student_t95(df), student_t95(df + 1)) << "df=" << df;
+}
+
+TrialResult make_trial(std::size_t index, const std::string& scenario,
+                       BwControl policy, std::uint32_t rep, double mibps,
+                       double fairness, double p99,
+                       std::uint64_t bytes) {
+  TrialResult t;
+  t.index = index;
+  t.scenario = scenario;
+  t.policy = policy;
+  t.num_osts = 1;
+  t.max_token_rate = -1.0;
+  t.repetition = rep;
+  t.aggregate_mibps = mibps;
+  t.fairness = fairness;
+  t.p99_ms = p99;
+  t.horizon_s = 10.0;
+  t.total_bytes = bytes;
+  return t;
+}
+
+TEST(AggregateSweep, GroupsByCellInFirstAppearanceOrder) {
+  std::vector<TrialResult> trials;
+  trials.push_back(make_trial(0, "s1", BwControl::kNone, 0, 100.0, 0.9,
+                              5.0, 1000));
+  trials.push_back(make_trial(1, "s1", BwControl::kNone, 1, 110.0, 0.8,
+                              7.0, 1200));
+  trials.push_back(make_trial(2, "s1", BwControl::kAdaptive, 0, 200.0, 0.95,
+                              3.0, 2000));
+  trials.push_back(make_trial(3, "s1", BwControl::kAdaptive, 1, 220.0, 0.85,
+                              4.0, 2400));
+
+  const auto cells = aggregate_sweep(trials);
+  ASSERT_EQ(cells.size(), 2u);
+  EXPECT_EQ(cells[0].policy, BwControl::kNone);
+  EXPECT_EQ(cells[1].policy, BwControl::kAdaptive);
+
+  EXPECT_EQ(cells[0].trials, 2u);
+  EXPECT_DOUBLE_EQ(cells[0].aggregate_mibps.mean, 105.0);
+  // stddev of {100, 110} = sqrt(50); CI with df=1.
+  EXPECT_NEAR(cells[0].aggregate_mibps.stddev, std::sqrt(50.0), 1e-12);
+  EXPECT_NEAR(cells[0].aggregate_mibps.ci95_half,
+              12.706 * std::sqrt(50.0) / std::sqrt(2.0), 1e-9);
+  EXPECT_NEAR(cells[0].fairness.mean, 0.85, 1e-12);
+  EXPECT_DOUBLE_EQ(cells[0].p99_ms.mean, 6.0);
+  EXPECT_EQ(cells[0].total_bytes, 2200u);
+  EXPECT_DOUBLE_EQ(cells[0].mean_horizon_s, 10.0);
+
+  EXPECT_DOUBLE_EQ(cells[1].aggregate_mibps.mean, 210.0);
+  EXPECT_EQ(cells[1].total_bytes, 4400u);
+}
+
+TEST(AggregateSweep, SingleTrialCellHasZeroSpread) {
+  std::vector<TrialResult> trials;
+  trials.push_back(make_trial(0, "s", BwControl::kGift, 0, 50.0, 1.0, 2.0,
+                              500));
+  const auto cells = aggregate_sweep(trials);
+  ASSERT_EQ(cells.size(), 1u);
+  EXPECT_EQ(cells[0].trials, 1u);
+  EXPECT_DOUBLE_EQ(cells[0].aggregate_mibps.stddev, 0.0);
+  EXPECT_DOUBLE_EQ(cells[0].aggregate_mibps.ci95_half, 0.0);
+}
+
+TEST(AggregateSweep, EmptyInputGivesNoCells) {
+  EXPECT_TRUE(aggregate_sweep({}).empty());
+}
+
+TEST(AggregateSweep, DistinctTokenRatesAreDistinctCells) {
+  std::vector<TrialResult> trials;
+  auto a = make_trial(0, "s", BwControl::kNone, 0, 10.0, 1.0, 1.0, 1);
+  auto b = make_trial(1, "s", BwControl::kNone, 0, 20.0, 1.0, 1.0, 1);
+  b.max_token_rate = 1000.0;
+  trials.push_back(a);
+  trials.push_back(b);
+  EXPECT_EQ(aggregate_sweep(trials).size(), 2u);
+}
+
+}  // namespace
+}  // namespace adaptbf

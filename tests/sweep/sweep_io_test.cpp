@@ -1,0 +1,136 @@
+#include "sweep/sweep_io.h"
+
+#include <gtest/gtest.h>
+
+namespace adaptbf {
+namespace {
+
+constexpr const char* kMinimal = R"(
+[sweep]
+policies = static, adaptive
+scenario = token_allocation
+)";
+
+TEST(SweepIo, MinimalSweepParses) {
+  const auto loaded = load_sweep(kMinimal);
+  ASSERT_TRUE(loaded.ok()) << loaded.error;
+  const SweepSpec& spec = *loaded.spec;
+  EXPECT_EQ(spec.name, "sweep");  // Default.
+  ASSERT_EQ(spec.policies.size(), 2u);
+  EXPECT_EQ(spec.policies[0], BwControl::kStatic);
+  EXPECT_EQ(spec.policies[1], BwControl::kAdaptive);
+  ASSERT_EQ(spec.scenarios.size(), 1u);
+  EXPECT_EQ(spec.scenarios[0].label, "token_allocation");
+  EXPECT_FALSE(spec.scenarios[0].spec.jobs.empty());
+  EXPECT_EQ(spec.repetitions, 1u);
+  EXPECT_TRUE(loaded.csv_path.empty());
+}
+
+TEST(SweepIo, FullSweepParses) {
+  const auto loaded = load_sweep(R"(
+[sweep]
+name = campaign
+policies = none, gift
+scenario = token_allocation
+scenario = redistribution
+scenario = recompensation
+repetitions = 4
+base_seed = 42
+start_jitter_ms = 250
+duration_s = 30
+
+[grid]
+osts = 1, 2, 4
+token_rate = 1200, 1600
+
+[output]
+csv = out.csv
+json = out.json
+)");
+  ASSERT_TRUE(loaded.ok()) << loaded.error;
+  const SweepSpec& spec = *loaded.spec;
+  EXPECT_EQ(spec.name, "campaign");
+  EXPECT_EQ(spec.scenarios.size(), 3u);
+  EXPECT_EQ(spec.repetitions, 4u);
+  EXPECT_EQ(spec.base_seed, 42u);
+  EXPECT_EQ(spec.start_jitter, SimDuration::millis(250));
+  EXPECT_EQ(spec.duration_override, SimDuration::seconds(30));
+  ASSERT_EQ(spec.ost_counts.size(), 3u);
+  EXPECT_EQ(spec.ost_counts[2], 4u);
+  ASSERT_EQ(spec.token_rates.size(), 2u);
+  EXPECT_DOUBLE_EQ(spec.token_rates[1], 1600.0);
+  EXPECT_EQ(loaded.csv_path, "out.csv");
+  EXPECT_EQ(loaded.json_path, "out.json");
+  // 3 scenarios x 2 policies x 3 osts x 2 rates x 4 reps.
+  EXPECT_EQ(spec.trial_count(), 144u);
+}
+
+TEST(SweepIo, MissingPoliciesFails) {
+  const auto loaded = load_sweep("[sweep]\nscenario = token_allocation\n");
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.error.find("policies"), std::string::npos);
+}
+
+TEST(SweepIo, MissingScenarioFails) {
+  const auto loaded = load_sweep("[sweep]\npolicies = none\n");
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.error.find("scenario"), std::string::npos);
+}
+
+TEST(SweepIo, BadPolicyNameFails) {
+  const auto loaded = load_sweep(
+      "[sweep]\npolicies = none, bogus\nscenario = token_allocation\n");
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.error.find("bogus"), std::string::npos);
+}
+
+TEST(SweepIo, UnknownKeyFails) {
+  const auto loaded = load_sweep(
+      "[sweep]\npolicies = none\nscenario = token_allocation\ntypo = 1\n");
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.error.find("typo"), std::string::npos);
+}
+
+TEST(SweepIo, UnknownSectionFails) {
+  const auto loaded = load_sweep(
+      "[sweep]\npolicies = none\nscenario = token_allocation\n[extra]\nx = "
+      "1\n");
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.error.find("extra"), std::string::npos);
+}
+
+TEST(SweepIo, ZeroRepetitionsFails) {
+  const auto loaded = load_sweep(
+      "[sweep]\npolicies = none\nscenario = token_allocation\nrepetitions = "
+      "0\n");
+  EXPECT_FALSE(loaded.ok());
+}
+
+TEST(SweepIo, BadGridValueFails) {
+  const auto loaded = load_sweep(
+      "[sweep]\npolicies = none\nscenario = token_allocation\n[grid]\nosts = "
+      "1, zero\n");
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.error.find("zero"), std::string::npos);
+}
+
+TEST(SweepIo, EmptyScenarioValueFails) {
+  const auto loaded = load_sweep("[sweep]\npolicies = none\nscenario =\n");
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.error.find("empty scenario"), std::string::npos);
+}
+
+TEST(SweepIo, MissingScenarioFileReportsPath) {
+  const auto loaded = load_sweep(
+      "[sweep]\npolicies = none\nscenario = does/not/exist.ini\n");
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.error.find("does/not/exist.ini"), std::string::npos);
+}
+
+TEST(SweepIo, LoadSweepFileMissingFails) {
+  const auto loaded = load_sweep_file("/nonexistent/sweep.ini");
+  EXPECT_FALSE(loaded.ok());
+}
+
+}  // namespace
+}  // namespace adaptbf

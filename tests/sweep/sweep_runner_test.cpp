@@ -1,0 +1,152 @@
+#include "sweep/sweep_runner.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "metrics/sweep_export.h"
+#include "sweep/sweep_aggregator.h"
+
+namespace adaptbf {
+namespace {
+
+/// Small but non-trivial campaign: two policies, Poisson + continuous
+/// processes, jitter on, two repetitions. Runs in well under a second.
+SweepSpec small_sweep() {
+  ScenarioSpec scenario;
+  scenario.name = "small";
+  for (std::uint32_t j = 1; j <= 2; ++j) {
+    JobSpec job;
+    job.id = JobId(j);
+    job.name = "J" + std::to_string(j);
+    job.nodes = j;
+    job.processes.push_back(continuous_pattern(32));
+    job.processes.push_back(poisson_pattern(32, 200.0, /*seed=*/j));
+    scenario.jobs.push_back(std::move(job));
+  }
+  scenario.duration = SimDuration::seconds(5);
+  scenario.stop_when_idle = true;
+
+  SweepSpec sweep;
+  sweep.name = "small";
+  sweep.scenarios.push_back({"small", std::move(scenario)});
+  sweep.policies = {BwControl::kNone, BwControl::kAdaptive};
+  sweep.repetitions = 2;
+  sweep.base_seed = 11;
+  sweep.start_jitter = SimDuration::millis(50);
+  return sweep;
+}
+
+void expect_identical(const TrialResult& a, const TrialResult& b) {
+  EXPECT_EQ(a.index, b.index);
+  EXPECT_EQ(a.scenario, b.scenario);
+  EXPECT_EQ(a.policy, b.policy);
+  EXPECT_EQ(a.seed, b.seed);
+  // Bit-identical, not approximately equal: EXPECT_EQ on doubles.
+  EXPECT_EQ(a.aggregate_mibps, b.aggregate_mibps);
+  EXPECT_EQ(a.fairness, b.fairness);
+  EXPECT_EQ(a.p50_ms, b.p50_ms);
+  EXPECT_EQ(a.p95_ms, b.p95_ms);
+  EXPECT_EQ(a.p99_ms, b.p99_ms);
+  EXPECT_EQ(a.horizon_s, b.horizon_s);
+  EXPECT_EQ(a.total_bytes, b.total_bytes);
+  EXPECT_EQ(a.events_dispatched, b.events_dispatched);
+  ASSERT_EQ(a.jobs.size(), b.jobs.size());
+  for (std::size_t j = 0; j < a.jobs.size(); ++j) {
+    EXPECT_EQ(a.jobs[j].mean_mibps, b.jobs[j].mean_mibps);
+    EXPECT_EQ(a.jobs[j].bytes_completed, b.jobs[j].bytes_completed);
+  }
+}
+
+TEST(SweepRunner, ResultsAreBitIdenticalAcrossThreadCounts) {
+  const SweepSpec sweep = small_sweep();
+
+  SweepRunner::Options serial;
+  serial.threads = 1;
+  const auto one = SweepRunner(serial).run(sweep);
+
+  SweepRunner::Options parallel;
+  parallel.threads = 4;
+  const auto four = SweepRunner(parallel).run(sweep);
+
+  ASSERT_EQ(one.size(), four.size());
+  ASSERT_EQ(one.size(), sweep.trial_count());
+  for (std::size_t i = 0; i < one.size(); ++i) expect_identical(one[i], four[i]);
+
+  // And the full export pipeline is byte-identical too.
+  const auto cells_one = aggregate_sweep(one);
+  const auto cells_four = aggregate_sweep(four);
+  EXPECT_EQ(sweep_to_json(sweep.name, one, cells_one),
+            sweep_to_json(sweep.name, four, cells_four));
+  EXPECT_EQ(sweep_cells_table(cells_one).to_csv(),
+            sweep_cells_table(cells_four).to_csv());
+  EXPECT_EQ(sweep_trials_table(one).to_csv(),
+            sweep_trials_table(four).to_csv());
+}
+
+TEST(SweepRunner, ResultsOrderedByTrialIndex) {
+  SweepRunner::Options options;
+  options.threads = 3;
+  const auto results = SweepRunner(options).run(small_sweep());
+  for (std::size_t i = 0; i < results.size(); ++i)
+    EXPECT_EQ(results[i].index, i);
+}
+
+TEST(SweepRunner, TrialsProduceNonTrivialMetrics) {
+  const auto results = SweepRunner().run(small_sweep());
+  for (const auto& trial : results) {
+    EXPECT_GT(trial.aggregate_mibps, 0.0) << "trial " << trial.index;
+    EXPECT_GT(trial.fairness, 0.0);
+    EXPECT_LE(trial.fairness, 1.0);
+    EXPECT_GT(trial.total_bytes, 0u);
+    EXPECT_EQ(trial.jobs.size(), 2u);
+  }
+}
+
+TEST(SweepRunner, SeededRepetitionsDiffer) {
+  const auto results = SweepRunner().run(small_sweep());
+  // Jitter + Poisson reseeding: repetition 0 and 1 of the same cell must
+  // not be byte-equal (otherwise the seed axis is dead).
+  EXPECT_NE(results[0].events_dispatched, results[1].events_dispatched);
+}
+
+TEST(SweepRunner, ProgressCallbackSeesEveryTrialExactlyOnce) {
+  SweepRunner::Options options;
+  options.threads = 2;
+  std::vector<bool> seen(small_sweep().trial_count(), false);
+  std::size_t calls = 0;
+  std::size_t last_completed = 0;
+  options.on_trial_done = [&](std::size_t completed, std::size_t total,
+                              const TrialResult& result) {
+    // Serialized by the runner's mutex: safe to touch locals.
+    ++calls;
+    EXPECT_EQ(total, seen.size());
+    // Strictly increasing 1..total: the counter ticks under the same
+    // lock that serializes the callbacks.
+    EXPECT_EQ(completed, calls);
+    EXPECT_FALSE(seen[result.index]);
+    seen[result.index] = true;
+    last_completed = completed;
+  };
+  (void)SweepRunner(options).run(small_sweep());
+  EXPECT_EQ(calls, seen.size());
+  EXPECT_EQ(last_completed, seen.size());
+  for (const bool s : seen) EXPECT_TRUE(s);
+}
+
+TEST(SweepRunner, AllocationTraceDefaultsOffForSweeps) {
+  // Campaign memory stays bounded: the per-window allocation trace is
+  // opt-in for sweeps even though single experiments default it on.
+  EXPECT_FALSE(SweepRunner::Options{}.experiment.capture_allocation_trace);
+  EXPECT_TRUE(ExperimentOptions{}.capture_allocation_trace);
+}
+
+TEST(SweepRunner, ZeroThreadsAutoDetects) {
+  SweepRunner::Options options;
+  options.threads = 0;
+  const auto results = SweepRunner(options).run(small_sweep());
+  EXPECT_EQ(results.size(), small_sweep().trial_count());
+}
+
+}  // namespace
+}  // namespace adaptbf
