@@ -5,19 +5,32 @@
 //   $ ./sweep_cli --threads 8 --csv out.csv --json out.json campaign.ini
 //   $ ./sweep_cli --list campaign.ini       # print trials without running
 //
+//   # Durable, resumable campaign: every finished trial is appended to a
+//   # JSONL journal (fsync'd batches). Kill it at any point — including
+//   # mid-write — and rerun with --resume to execute only the missing
+//   # trials; the final CSV/JSON are byte-identical to an uninterrupted
+//   # run at any thread count.
+//   $ ./sweep_cli --threads 16 --output campaign.jsonl campaign.ini
+//   $ ./sweep_cli --threads 16 --output campaign.jsonl --resume campaign.ini
+//
 // Trials are independent simulations, so wall time scales down with
 // --threads while results stay bit-identical: the CSV/JSON written with
-// --threads 1 and --threads 8 match byte for byte.
+// --threads 1 and --threads 8 match byte for byte. With --output, per-trial
+// payloads are released as soon as they are journaled, so campaign memory
+// stays bounded no matter how many trials have completed.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <exception>
 #include <fstream>
 
 #include "metrics/sweep_export.h"
 #include "support/table.h"
+#include "sweep/resume.h"
 #include "sweep/sweep_aggregator.h"
 #include "sweep/sweep_io.h"
 #include "sweep/sweep_runner.h"
+#include "sweep/trial_sink.h"
 
 using namespace adaptbf;
 
@@ -30,13 +43,38 @@ bool write_file(const std::string& path, const std::string& contents) {
   return file.good();
 }
 
+SweepRunner::Options runner_options(std::uint32_t threads, TrialSink* sink) {
+  SweepRunner::Options options;
+  options.threads = threads;
+  options.sink = sink;
+  options.on_trial_done = [](std::size_t completed, std::size_t total,
+                             const TrialResult& result) {
+    std::fprintf(stderr, "  [%zu/%zu] %s / %s rep %u: %.1f MiB/s\n",
+                 completed, total, result.scenario.c_str(),
+                 std::string(to_string(result.policy)).c_str(),
+                 result.repetition, result.aggregate_mibps);
+  };
+  return options;
+}
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--threads N] [--csv PATH] [--json PATH]\n"
+               "          [--output JOURNAL.jsonl [--resume]] [--list] "
+               "<sweep.ini>\n",
+               argv0);
+  return 2;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::uint32_t threads = 0;
   bool list_only = false;
+  bool resume = false;
   const char* csv_path = nullptr;
   const char* json_path = nullptr;
+  const char* jsonl_path = nullptr;
   const char* sweep_path = nullptr;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
@@ -45,6 +83,10 @@ int main(int argc, char** argv) {
       csv_path = argv[++i];
     } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
       json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--output") == 0 && i + 1 < argc) {
+      jsonl_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--resume") == 0) {
+      resume = true;
     } else if (std::strcmp(argv[i], "--list") == 0) {
       list_only = true;
     } else if (argv[i][0] == '-') {
@@ -54,13 +96,7 @@ int main(int argc, char** argv) {
       sweep_path = argv[i];
     }
   }
-  if (sweep_path == nullptr) {
-    std::fprintf(stderr,
-                 "usage: %s [--threads N] [--csv PATH] [--json PATH] "
-                 "[--list] <sweep.ini>\n",
-                 argv[0]);
-    return 2;
-  }
+  if (sweep_path == nullptr) return usage(argv[0]);
 
   SweepLoadResult loaded = load_sweep_file(sweep_path);
   if (!loaded.ok()) {
@@ -71,6 +107,14 @@ int main(int argc, char** argv) {
   // CLI flags override the sweep file's [output] defaults.
   const std::string csv = csv_path != nullptr ? csv_path : loaded.csv_path;
   const std::string json = json_path != nullptr ? json_path : loaded.json_path;
+  const std::string jsonl =
+      jsonl_path != nullptr ? jsonl_path : loaded.jsonl_path;
+  if (resume && jsonl.empty()) {
+    std::fprintf(stderr,
+                 "error: --resume needs a journal (--output PATH or an "
+                 "[output] jsonl = line)\n");
+    return 2;
+  }
 
   const std::vector<TrialSpec> trials = sweep.expand();
   std::fprintf(stderr,
@@ -95,23 +139,118 @@ int main(int argc, char** argv) {
     return 0;
   }
 
-  SweepRunner::Options options;
-  options.threads = threads;
-  options.on_trial_done = [](std::size_t completed, std::size_t total,
-                             const TrialResult& result) {
-    std::fprintf(stderr, "  [%zu/%zu] %s / %s rep %u: %.1f MiB/s\n",
-                 completed, total, result.scenario.c_str(),
-                 std::string(to_string(result.policy)).c_str(),
-                 result.repetition, result.aggregate_mibps);
-  };
-  const SweepRunner runner(options);
-  const std::vector<TrialResult> results = runner.run(trials);
-  const std::vector<CellStats> cells = aggregate_sweep(results);
+  std::vector<CellStats> cells;
+  std::string json_document;    // In-memory mode only; journaled mode
+  bool json_written = false;    // streams the document to disk directly.
+
+  if (!jsonl.empty()) {
+    // ------------------------------------------- journaled (sink) mode
+    const CampaignScan scan = scan_campaign_file(jsonl, sweep.name, trials);
+    if (!scan.ok()) {
+      std::fprintf(stderr, "error: %s\n", scan.error.c_str());
+      return 1;
+    }
+    if (!resume && !scan.fresh) {
+      std::fprintf(stderr,
+                   "error: journal '%s' already exists (%zu/%zu trials); "
+                   "pass --resume to continue it or remove it to restart\n",
+                   jsonl.c_str(), scan.rows, scan.trial_count);
+      return 1;
+    }
+
+    JsonlTrialSink::OpenResult opened;
+    if (scan.fresh) {
+      CampaignHeader header;
+      header.sweep = sweep.name;
+      header.grid_hash = sweep_grid_hash(trials);
+      header.trials = trials.size();
+      opened = JsonlTrialSink::open_fresh(jsonl, header);
+    } else {
+      if (scan.truncated_tail)
+        std::fprintf(stderr,
+                     "resume: discarding a partial trailing line "
+                     "(crash mid-write)\n");
+      if (scan.corrupt_lines > 0)
+        std::fprintf(stderr, "resume: ignoring %zu corrupt line(s)\n",
+                     scan.corrupt_lines);
+      std::fprintf(stderr, "resume: %zu/%zu trials already journaled\n",
+                   scan.rows, scan.trial_count);
+      opened = JsonlTrialSink::open_append(jsonl, scan.valid_bytes,
+                                           scan.missing_final_newline);
+    }
+    if (!opened.ok()) {
+      std::fprintf(stderr, "error: %s\n", opened.error.c_str());
+      return 1;
+    }
+
+    const std::vector<TrialSpec> todo = missing_trials(scan, trials);
+    if (todo.empty()) {
+      std::fprintf(stderr, "resume: campaign already complete\n");
+    } else {
+      const SweepRunner runner(runner_options(threads, opened.sink.get()));
+      try {
+        (void)runner.run(todo);
+      } catch (const std::exception& e) {
+        std::fprintf(stderr,
+                     "error: campaign stopped: %s\n"
+                     "completed trials are journaled in '%s'; rerun with "
+                     "--resume to continue\n",
+                     e.what(), jsonl.c_str());
+        return 1;
+      }
+    }
+    opened.sink.reset();  // Flush + close before re-reading the journal.
+
+    // Every artifact derives from the journal, never from in-memory state:
+    // interrupted-then-resumed and uninterrupted runs re-read the same
+    // rows and therefore export byte-identical CSV/JSON. The JSON document
+    // streams straight to its file — journaled mode never holds anything
+    // proportional to the campaign size in memory.
+    std::ofstream json_file;
+    if (!json.empty()) {
+      json_file.open(json, std::ios::binary);
+      if (!json_file) {
+        std::fprintf(stderr, "error: could not write %s\n", json.c_str());
+        return 1;
+      }
+    }
+    JsonlExportResult exported = export_campaign_from_jsonl(
+        jsonl, sweep.name, trials, json.empty() ? nullptr : &json_file);
+    if (!exported.ok()) {
+      std::fprintf(stderr, "error: %s\n", exported.error.c_str());
+      return 1;
+    }
+    cells = std::move(exported.cells);
+    if (!json.empty()) {
+      json_file.flush();
+      if (!json_file.good()) {
+        std::fprintf(stderr, "error: could not write %s\n", json.c_str());
+        return 1;
+      }
+      json_file.close();
+      json_written = true;
+      std::fprintf(stderr, "wrote %s\n", json.c_str());
+    }
+  } else {
+    // ------------------------------------------------- in-memory mode
+    const SweepRunner runner(runner_options(threads, nullptr));
+    std::vector<TrialResult> results;
+    try {
+      results = runner.run(trials);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: campaign stopped: %s\n", e.what());
+      return 1;
+    }
+    cells = aggregate_sweep(results);
+    if (!json.empty())
+      json_document = sweep_to_json(sweep.name, results, cells);
+  }
 
   const Table cell_table = sweep_cells_table(cells);
-  std::printf("%s\n",
-              cell_table.to_string("Campaign aggregates (mean over seeds, 95% CI)")
-                  .c_str());
+  std::printf(
+      "%s\n",
+      cell_table.to_string("Campaign aggregates (mean over seeds, 95% CI)")
+          .c_str());
 
   if (!csv.empty()) {
     if (!write_file(csv, cell_table.to_csv())) {
@@ -120,8 +259,8 @@ int main(int argc, char** argv) {
     }
     std::fprintf(stderr, "wrote %s\n", csv.c_str());
   }
-  if (!json.empty()) {
-    if (!write_file(json, sweep_to_json(sweep.name, results, cells))) {
+  if (!json.empty() && !json_written) {
+    if (!write_file(json, json_document)) {
       std::fprintf(stderr, "error: could not write %s\n", json.c_str());
       return 1;
     }

@@ -1,42 +1,22 @@
 #include "metrics/sweep_export.h"
 
-#include <cmath>
-#include <cstdio>
+#include <fstream>
+#include <ostream>
 #include <sstream>
+
+#include "support/json.h"
+#include "sweep/resume.h"
+#include "sweep/trial_sink.h"
 
 namespace adaptbf {
 
 namespace {
 
-/// Shortest-round-trip-ish numeric literal, valid JSON and stable CSV.
-/// %.10g keeps full practical precision for MiB/s-scale values while
-/// printing integers without a trailing ".0000000000".
-std::string num(double v) {
-  if (!std::isfinite(v)) return "null";  // JSON has no NaN/Inf.
-  char buf[32];
-  std::snprintf(buf, sizeof(buf), "%.10g", v);
-  return buf;
-}
+/// Shortest-round-trip-ish numeric literal, valid JSON and stable CSV
+/// (display precision; support/json.h owns the format).
+std::string num(double v) { return json_num(v); }
 
-std::string quote(const std::string& s) {
-  std::string out = "\"";
-  for (const char c : s) {
-    if (c == '"' || c == '\\') {
-      out += '\\';
-      out += c;
-    } else if (static_cast<unsigned char>(c) < 0x20) {
-      char buf[8];
-      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-      out += buf;
-    } else {
-      out += c;
-    }
-  }
-  out += '"';
-  return out;
-}
-
-void append_summary_fields(std::ostringstream& out, const char* prefix,
+void append_summary_fields(std::ostream& out, const char* prefix,
                            const SampleSummary& s) {
   out << '"' << prefix << "_mean\":" << num(s.mean) << ",\"" << prefix
       << "_stddev\":" << num(s.stddev) << ",\"" << prefix
@@ -85,62 +65,135 @@ Table sweep_cells_table(std::span<const CellStats> cells) {
   return table;
 }
 
+void append_trial_json(std::ostream& out, const TrialResult& trial) {
+  out << "{\"trial\":" << trial.index
+      << ",\"scenario\":" << json_quote(trial.scenario)
+      << ",\"policy\":" << json_quote(to_string(trial.policy))
+      << ",\"osts\":" << trial.num_osts
+      << ",\"token_rate\":" << num(trial.max_token_rate)
+      << ",\"repetition\":" << trial.repetition << ",\"seed\":" << trial.seed
+      << ",\"aggregate_mibps\":" << num(trial.aggregate_mibps)
+      << ",\"fairness\":" << num(trial.fairness)
+      << ",\"p50_ms\":" << num(trial.p50_ms)
+      << ",\"p95_ms\":" << num(trial.p95_ms)
+      << ",\"p99_ms\":" << num(trial.p99_ms)
+      << ",\"horizon_s\":" << num(trial.horizon_s)
+      << ",\"total_bytes\":" << trial.total_bytes
+      << ",\"events\":" << trial.events_dispatched << ",\"jobs\":[";
+  bool first_job = true;
+  for (const auto& job : trial.jobs) {
+    if (!first_job) out << ',';
+    first_job = false;
+    out << "{\"id\":" << job.id.value() << ",\"name\":" << json_quote(job.name)
+        << ",\"nodes\":" << job.nodes
+        << ",\"mean_mibps\":" << num(job.mean_mibps)
+        << ",\"rpcs\":" << job.rpcs_completed
+        << ",\"finished\":" << (job.finished ? "true" : "false") << '}';
+  }
+  out << "]}";
+}
+
+void append_cell_json(std::ostream& out, const CellStats& cell) {
+  out << "{\"scenario\":" << json_quote(cell.scenario)
+      << ",\"policy\":" << json_quote(to_string(cell.policy))
+      << ",\"osts\":" << cell.num_osts
+      << ",\"token_rate\":" << num(cell.max_token_rate)
+      << ",\"trials\":" << cell.trials << ',';
+  append_summary_fields(out, "mibps", cell.aggregate_mibps);
+  out << ',';
+  append_summary_fields(out, "fairness", cell.fairness);
+  out << ',';
+  append_summary_fields(out, "p99_ms", cell.p99_ms);
+  out << ",\"horizon_s\":" << num(cell.mean_horizon_s)
+      << ",\"total_bytes\":" << cell.total_bytes << '}';
+}
+
 std::string sweep_to_json(const std::string& sweep_name,
                           std::span<const TrialResult> trials,
                           std::span<const CellStats> cells) {
   std::ostringstream out;
-  out << "{\"sweep\":" << quote(sweep_name) << ",\"trials\":[";
+  out << "{\"sweep\":" << json_quote(sweep_name) << ",\"trials\":[";
   bool first = true;
   for (const auto& trial : trials) {
     if (!first) out << ',';
     first = false;
-    out << "{\"trial\":" << trial.index
-        << ",\"scenario\":" << quote(trial.scenario)
-        << ",\"policy\":" << quote(std::string(to_string(trial.policy)))
-        << ",\"osts\":" << trial.num_osts
-        << ",\"token_rate\":" << num(trial.max_token_rate)
-        << ",\"repetition\":" << trial.repetition
-        << ",\"seed\":" << trial.seed
-        << ",\"aggregate_mibps\":" << num(trial.aggregate_mibps)
-        << ",\"fairness\":" << num(trial.fairness)
-        << ",\"p50_ms\":" << num(trial.p50_ms)
-        << ",\"p95_ms\":" << num(trial.p95_ms)
-        << ",\"p99_ms\":" << num(trial.p99_ms)
-        << ",\"horizon_s\":" << num(trial.horizon_s)
-        << ",\"total_bytes\":" << trial.total_bytes
-        << ",\"events\":" << trial.events_dispatched << ",\"jobs\":[";
-    bool first_job = true;
-    for (const auto& job : trial.jobs) {
-      if (!first_job) out << ',';
-      first_job = false;
-      out << "{\"id\":" << job.id.value() << ",\"name\":" << quote(job.name)
-          << ",\"nodes\":" << job.nodes
-          << ",\"mean_mibps\":" << num(job.mean_mibps)
-          << ",\"rpcs\":" << job.rpcs_completed
-          << ",\"finished\":" << (job.finished ? "true" : "false") << '}';
-    }
-    out << "]}";
+    append_trial_json(out, trial);
   }
   out << "],\"cells\":[";
   first = true;
   for (const auto& cell : cells) {
     if (!first) out << ',';
     first = false;
-    out << "{\"scenario\":" << quote(cell.scenario)
-        << ",\"policy\":" << quote(std::string(to_string(cell.policy)))
-        << ",\"osts\":" << cell.num_osts
-        << ",\"token_rate\":" << num(cell.max_token_rate)
-        << ",\"trials\":" << cell.trials << ',';
-    append_summary_fields(out, "mibps", cell.aggregate_mibps);
-    out << ',';
-    append_summary_fields(out, "fairness", cell.fairness);
-    out << ',';
-    append_summary_fields(out, "p99_ms", cell.p99_ms);
-    out << ",\"horizon_s\":" << num(cell.mean_horizon_s)
-        << ",\"total_bytes\":" << cell.total_bytes << '}';
+    append_cell_json(out, cell);
   }
   out << "]}";
   return out.str();
+}
+
+JsonlExportResult export_campaign_from_jsonl(const std::string& jsonl_path,
+                                             const std::string& sweep_name,
+                                             std::span<const TrialSpec> trials,
+                                             std::ostream* json_out) {
+  JsonlExportResult result;
+  const CampaignScan scan = scan_campaign_file(jsonl_path, sweep_name, trials);
+  if (!scan.ok()) {
+    result.error = scan.error;
+    return result;
+  }
+  if (scan.fresh) {
+    result.error = "journal '" + jsonl_path + "' does not exist";
+    return result;
+  }
+  if (!scan.complete()) {
+    result.error = "journal '" + jsonl_path + "' is incomplete (" +
+                   std::to_string(scan.trial_count - scan.rows) + " of " +
+                   std::to_string(scan.trial_count) +
+                   " trials missing; resume the campaign first)";
+    return result;
+  }
+
+  std::ifstream file(jsonl_path, std::ios::binary);
+  if (!file) {
+    result.error = "cannot open '" + jsonl_path + "'";
+    return result;
+  }
+
+  // One seek per trial, in index order: rows land in the journal in
+  // completion order, but every derived artifact must be index-ordered to
+  // stay byte-identical across thread counts and resume histories.
+  StreamingCellAggregator aggregator;
+  if (json_out != nullptr)
+    *json_out << "{\"sweep\":" << json_quote(sweep_name) << ",\"trials\":[";
+  std::string line;
+  TrialResult row;
+  for (std::size_t i = 0; i < trials.size(); ++i) {
+    file.clear();
+    file.seekg(scan.row_offset[i]);
+    if (!std::getline(file, line) || !trial_from_jsonl(line, row) ||
+        row.index != i) {
+      result.error = "journal '" + jsonl_path +
+                     "' changed while exporting (row " + std::to_string(i) +
+                     ")";
+      return result;
+    }
+    aggregator.add(row);
+    if (json_out != nullptr) {
+      if (i > 0) *json_out << ',';
+      append_trial_json(*json_out, row);
+    }
+  }
+  result.cells = aggregator.cells();
+  if (json_out != nullptr) {
+    *json_out << "],\"cells\":[";
+    bool first = true;
+    for (const auto& cell : result.cells) {
+      if (!first) *json_out << ',';
+      first = false;
+      append_cell_json(*json_out, cell);
+    }
+    *json_out << "]}";
+  }
+  return result;
 }
 
 }  // namespace adaptbf

@@ -8,14 +8,22 @@
 // All formatting is a pure function of the values, so exports are
 // byte-identical across runs and worker-thread counts. A max_token_rate
 // of -1 denotes "derived from the disk model" (ScenarioSpec convention).
+//
+// Sources: either an in-memory trial list (the runner's default mode) or
+// a JSONL campaign journal (sink mode / resumed campaigns). The journal
+// path streams one row at a time and aggregates with StreamingStats in
+// trial-index order, so its artifacts are byte-identical to the in-memory
+// ones — interrupted, resumed, or neither.
 #pragma once
 
+#include <iosfwd>
 #include <span>
 #include <string>
 
 #include "support/table.h"
 #include "sweep/sweep_aggregator.h"
 #include "sweep/sweep_runner.h"
+#include "sweep/sweep_spec.h"
 
 namespace adaptbf {
 
@@ -25,10 +33,32 @@ namespace adaptbf {
 /// One row per grid cell with aggregate statistics.
 [[nodiscard]] Table sweep_cells_table(std::span<const CellStats> cells);
 
+/// One trial / one cell as a JSON object fragment — the building blocks
+/// sweep_to_json and the journal-streaming exporter share.
+void append_trial_json(std::ostream& out, const TrialResult& trial);
+void append_cell_json(std::ostream& out, const CellStats& cell);
+
 /// Full campaign document:
 ///   {"sweep": name, "trials": [...], "cells": [...]}
 [[nodiscard]] std::string sweep_to_json(const std::string& sweep_name,
                                         std::span<const TrialResult> trials,
                                         std::span<const CellStats> cells);
+
+/// Artifacts derived from a JSONL campaign journal (sweep/trial_sink.h).
+struct JsonlExportResult {
+  std::string error;  ///< Empty on success.
+  std::vector<CellStats> cells;
+  [[nodiscard]] bool ok() const { return error.empty(); }
+};
+
+/// Re-derives campaign artifacts from a journal: scans/validates it
+/// against the expanded `trials` (every trial must be present), streams
+/// rows in index order through a StreamingCellAggregator, and — when
+/// `json_out` is non-null — writes the same JSON document sweep_to_json
+/// produces without ever materializing the trial list. Memory is O(one
+/// row) plus the per-cell accumulators.
+[[nodiscard]] JsonlExportResult export_campaign_from_jsonl(
+    const std::string& jsonl_path, const std::string& sweep_name,
+    std::span<const TrialSpec> trials, std::ostream* json_out);
 
 }  // namespace adaptbf

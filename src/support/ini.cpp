@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cctype>
 #include <charconv>
+#include <cmath>
 #include <cstdlib>
 
 namespace adaptbf {
@@ -24,11 +25,25 @@ bool parse_u64(std::string_view text, std::uint64_t& out) {
 }
 
 bool parse_double(std::string_view text, double& out) {
-  // strtod needs a terminated buffer; values are short, the copy is cheap.
-  const std::string buffer(text);
-  char* end = nullptr;
-  out = std::strtod(buffer.c_str(), &end);
-  return !buffer.empty() && end == buffer.c_str() + buffer.size();
+  // from_chars, not strtod: strtod accepts "nan", "inf", and hex floats
+  // ("0x1p4"), which let non-finite or surprising values into configs and
+  // from there into exports. Configs are plain decimal/scientific only;
+  // anything else — including "nan"/"inf" (from_chars parses them, the
+  // finiteness check rejects them) and overflow to infinity ("1e999") —
+  // fails the parse. `out` is untouched on failure.
+  if (!text.empty() && text.front() == '+') {
+    text.remove_prefix(1);
+    // from_chars would happily parse the '-' of "+-5"; one sign only.
+    if (!text.empty() && (text.front() == '+' || text.front() == '-'))
+      return false;
+  }
+  const char* begin = text.data();
+  const char* end = begin + text.size();
+  double value = 0.0;
+  auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (ec != std::errc{} || ptr != end || !std::isfinite(value)) return false;
+  out = value;
+  return true;
 }
 
 namespace {
@@ -116,10 +131,8 @@ std::optional<double> IniFile::get_double(std::string_view section,
                                           std::string_view key) const {
   const auto value = get(section, key);
   if (!value.has_value()) return std::nullopt;
-  char* end = nullptr;
-  const double parsed = std::strtod(value->c_str(), &end);
-  if (end != value->c_str() + value->size() || value->empty())
-    return std::nullopt;
+  double parsed = 0.0;
+  if (!parse_double(*value, parsed)) return std::nullopt;
   return parsed;
 }
 

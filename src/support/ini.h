@@ -62,6 +62,9 @@ class IniFile {
 /// Strict numeric parsers shared by the scenario/sweep loaders: the whole
 /// string must be consumed, else false. (IniFile's typed getters wrap
 /// these; the loaders also need them for key=value word lists.)
+/// parse_double accepts plain decimal/scientific notation only and
+/// rejects non-finite results: "nan", "inf", hex floats, and overflowing
+/// exponents never reach a config value. On failure `out` is untouched.
 [[nodiscard]] bool parse_u64(std::string_view text, std::uint64_t& out);
 [[nodiscard]] bool parse_double(std::string_view text, double& out);
 

@@ -1,0 +1,27 @@
+// Shared JSON text formatting for the exporters and the campaign journal.
+//
+// Two numeric renderings with different contracts:
+//   json_num       "%.10g"  — display precision, stable and compact; what
+//                  the CSV/JSON artifacts print.
+//   json_num_exact "%.17g"  — round-trip precision; strtod() on the output
+//                  reconstructs the identical IEEE-754 double. The JSONL
+//                  journal uses this so a resumed campaign re-exports
+//                  byte-identical artifacts.
+// Both emit `null` for non-finite values (JSON has no NaN/Inf tokens).
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace adaptbf {
+
+/// Quoted + escaped JSON string literal (quotes included).
+[[nodiscard]] std::string json_quote(std::string_view text);
+
+/// Display-precision numeric literal; "null" when non-finite.
+[[nodiscard]] std::string json_num(double v);
+
+/// Round-trip-exact numeric literal; "null" when non-finite.
+[[nodiscard]] std::string json_num_exact(double v);
+
+}  // namespace adaptbf

@@ -66,7 +66,12 @@ double percentile(std::span<const double> values, double q) {
 }
 
 double jain_fairness(std::span<const double> values) {
-  ADAPTBF_CHECK(!values.empty());
+  // Degenerate inputs are defined, not checked: a scenario can legitimately
+  // complete with zero jobs (empty workload, all-idle horizon), and a
+  // campaign must summarize such a trial rather than abort the process.
+  // Zero jobs — like all-zero shares below — is "nobody is disadvantaged":
+  // fairness 1.
+  if (values.empty()) return 1.0;
   double sum = 0.0, sum_sq = 0.0;
   for (double v : values) {
     sum += v;

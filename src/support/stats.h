@@ -40,6 +40,8 @@ class StreamingStats {
 [[nodiscard]] double percentile(std::span<const double> values, double q);
 
 /// Jain's fairness index: (sum x)^2 / (n * sum x^2), in (0, 1]; 1 = all equal.
+/// Degenerate inputs (empty, or all-zero shares) return 1.0 — equal by
+/// vacuity — so trial summaries never abort on jobless scenarios.
 /// Used by tests to quantify share fairness across jobs.
 [[nodiscard]] double jain_fairness(std::span<const double> values);
 

@@ -1,0 +1,189 @@
+#include "sweep/resume.h"
+
+#include <cstring>
+#include <fstream>
+#include <string_view>
+
+namespace adaptbf {
+
+namespace {
+
+/// FNV-1a 64-bit over typed fields. Strings are length-prefixed so field
+/// boundaries cannot alias; doubles hash their IEEE-754 bits.
+class Fnv1a {
+ public:
+  void bytes(const void* data, std::size_t n) {
+    const auto* p = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < n; ++i) {
+      hash_ ^= p[i];
+      hash_ *= 1099511628211ull;
+    }
+  }
+  void u64(std::uint64_t v) { bytes(&v, sizeof(v)); }
+  void i64(std::int64_t v) { bytes(&v, sizeof(v)); }
+  void f64(double v) {
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &v, sizeof(bits));
+    u64(bits);
+  }
+  void str(std::string_view s) {
+    u64(s.size());
+    bytes(s.data(), s.size());
+  }
+  [[nodiscard]] std::uint64_t value() const { return hash_; }
+
+ private:
+  std::uint64_t hash_ = 1469598103934665603ull;
+};
+
+/// True when a parsed journal row is the row the expanded grid expects at
+/// its index. Guards against journals from edited sweep files that the
+/// grid hash (computed from the same trial list) would also catch — this
+/// is the per-row belt to that suspender.
+bool row_matches(const TrialResult& row, std::span<const TrialSpec> trials) {
+  if (row.index >= trials.size()) return false;
+  const TrialSpec& trial = trials[row.index];
+  return row.seed == trial.seed && row.repetition == trial.repetition &&
+         row.cell_id() == trial.cell_id();
+}
+
+}  // namespace
+
+std::uint64_t sweep_grid_hash(std::span<const TrialSpec> trials) {
+  Fnv1a fnv;
+  fnv.u64(trials.size());
+  for (const TrialSpec& trial : trials) {
+    fnv.u64(trial.index);
+    fnv.str(trial.cell_id());
+    fnv.u64(trial.repetition);
+    fnv.u64(trial.seed);
+    // Salient materialized-spec fields: a resumed journal must have been
+    // produced by the same workloads, not just the same grid coordinates.
+    const ScenarioSpec& spec = trial.spec;
+    fnv.i64(spec.duration.ns());
+    fnv.u64(spec.num_osts);
+    fnv.f64(spec.max_token_rate);
+    fnv.u64(static_cast<std::uint64_t>(spec.control));
+    fnv.u64(spec.jobs.size());
+    for (const JobSpec& job : spec.jobs) {
+      fnv.u64(job.id.value());
+      fnv.u64(job.nodes);
+      fnv.u64(job.processes.size());
+      for (const ProcessPattern& process : job.processes) {
+        fnv.u64(static_cast<std::uint64_t>(process.kind));
+        fnv.u64(process.total_rpcs);
+        fnv.f64(process.poisson_rate);
+        fnv.u64(process.seed);
+        fnv.i64(process.start_delay.ns());
+      }
+    }
+  }
+  return fnv.value();
+}
+
+CampaignScan scan_campaign_file(const std::string& path,
+                                const std::string& sweep_name,
+                                std::span<const TrialSpec> trials) {
+  CampaignScan scan;
+  scan.trial_count = trials.size();
+  scan.have.assign(trials.size(), false);
+  scan.row_offset.assign(trials.size(), -1);
+
+  std::ifstream file(path, std::ios::binary);
+  if (!file) {
+    scan.fresh = true;
+    return scan;
+  }
+
+  const std::uint64_t expected_hash = sweep_grid_hash(trials);
+  std::uint64_t offset = 0;
+  std::string line;
+  bool saw_header = false;
+  while (std::getline(file, line)) {
+    // getline sets eofbit only when the final line lacks its '\n'.
+    const bool has_newline = !file.eof();
+    const std::uint64_t line_end = offset + line.size() + (has_newline ? 1 : 0);
+
+    if (!saw_header) {
+      CampaignHeader header;
+      if (!parse_campaign_header(line, header)) {
+        // Torn header: the crash hit during the very first writeout. The
+        // line must still be a recognizable prefix of a header — an
+        // unterminated line of some unrelated file the user pointed
+        // --output at keeps the hard error instead of getting clobbered.
+        constexpr std::string_view kMagic = "{\"adaptbf_sweep\":1,\"name\":";
+        const std::string_view head(line);
+        const bool header_prefix =
+            head.size() < kMagic.size()
+                ? kMagic.substr(0, head.size()) == head
+                : head.substr(0, kMagic.size()) == kMagic;
+        if (!has_newline && header_prefix) {
+          // Nothing recoverable; start fresh rather than wedging every
+          // future --resume on a hard error.
+          scan.fresh = true;
+          return scan;
+        }
+        scan.error = "'" + path + "' is not a campaign journal";
+        return scan;
+      }
+      if (header.sweep != sweep_name) {
+        scan.error = "journal '" + path + "' belongs to sweep '" +
+                     header.sweep + "', not '" + sweep_name + "'";
+        return scan;
+      }
+      if (header.trials != trials.size() ||
+          header.grid_hash != expected_hash) {
+        scan.error = "journal '" + path +
+                     "' was written for a different campaign grid "
+                     "(sweep file changed since the journal started?)";
+        return scan;
+      }
+      saw_header = true;
+      if (!has_newline) scan.missing_final_newline = true;
+      scan.valid_bytes = line_end;
+      offset = line_end;
+      continue;
+    }
+
+    TrialResult row;
+    const bool valid =
+        trial_scalars_from_jsonl(line, row) && row_matches(row, trials);
+    if (valid) {
+      if (!scan.have[row.index]) {
+        scan.have[row.index] = true;
+        scan.row_offset[row.index] = static_cast<std::int64_t>(offset);
+        ++scan.rows;
+      } else {
+        ++scan.duplicate_rows;
+      }
+      if (!has_newline) scan.missing_final_newline = true;
+      scan.valid_bytes = line_end;
+    } else if (!has_newline) {
+      // Partial tail from a mid-write crash: discard; valid_bytes stays at
+      // the end of the last good line so the sink truncates it away.
+      scan.truncated_tail = true;
+    } else {
+      // Interior garbage: the bytes stay (truncating would drop every row
+      // after them) but the line is ignored and its trial re-run.
+      ++scan.corrupt_lines;
+      scan.valid_bytes = line_end;
+    }
+    offset = line_end;
+  }
+
+  if (!saw_header) {
+    // Zero-byte file: treat like a missing one and start fresh.
+    scan.fresh = true;
+  }
+  return scan;
+}
+
+std::vector<TrialSpec> missing_trials(const CampaignScan& scan,
+                                      std::span<const TrialSpec> trials) {
+  std::vector<TrialSpec> todo;
+  for (std::size_t i = 0; i < trials.size(); ++i)
+    if (i >= scan.have.size() || !scan.have[i]) todo.push_back(trials[i]);
+  return todo;
+}
+
+}  // namespace adaptbf

@@ -1,0 +1,70 @@
+// Campaign resume: validate a JSONL journal against an expanded sweep and
+// plan which trials still need to run.
+//
+// The scanner is the single reader of journal files. It tolerates every
+// crash artifact append-only journals can exhibit:
+//   - a partial last line (killed mid-write): discarded; the sink truncates
+//     it before appending resumes
+//   - a complete last row missing its '\n' (killed between the row bytes
+//     and the newline hitting disk): kept; the sink restores the newline
+//   - corrupt interior lines (torn sectors, hand edits): ignored where they
+//     lie; their trials count as missing and are re-run, the fresh rows
+//     appended at the tail
+//   - duplicate rows for one index: first valid row wins (rows are
+//     deterministic, so duplicates are byte-identical anyway)
+// A journal whose header names a different campaign or whose grid hash
+// does not match the expanded trial list is rejected outright — resuming
+// into the wrong grid would silently mix incompatible results.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "sweep/sweep_spec.h"
+#include "sweep/trial_sink.h"
+
+namespace adaptbf {
+
+/// Fingerprint of an expanded trial list: grid coordinates, seeds, and the
+/// salient materialized-spec fields (duration, jobs, process seeds/delays).
+/// Two sweeps resume-compatible iff their hashes match.
+[[nodiscard]] std::uint64_t sweep_grid_hash(std::span<const TrialSpec> trials);
+
+/// Result of scanning a journal against an expanded sweep.
+struct CampaignScan {
+  std::string error;  ///< Non-empty: journal unusable for this sweep.
+  bool fresh = false; ///< File absent — start a new journal.
+
+  std::size_t trial_count = 0;  ///< Size of the expanded grid.
+  std::size_t rows = 0;         ///< Distinct valid rows found.
+  std::vector<bool> have;       ///< Per trial index: valid row present.
+  /// Byte offset of each index's first valid row; -1 when missing.
+  std::vector<std::int64_t> row_offset;
+
+  std::size_t corrupt_lines = 0;   ///< Interior lines that failed to parse.
+  std::size_t duplicate_rows = 0;  ///< Extra valid rows for a present index.
+  bool truncated_tail = false;     ///< Partial last line discarded.
+  bool missing_final_newline = false;  ///< Last row valid but unterminated.
+  /// Watermark for JsonlTrialSink::open_append: bytes to keep.
+  std::uint64_t valid_bytes = 0;
+
+  [[nodiscard]] bool ok() const { return error.empty(); }
+  [[nodiscard]] bool complete() const {
+    return !fresh && rows == trial_count;
+  }
+};
+
+/// Scans `path` against the expanded `trials` of the sweep named
+/// `sweep_name`. A missing file is not an error: the scan comes back
+/// `fresh` with every trial missing.
+[[nodiscard]] CampaignScan scan_campaign_file(
+    const std::string& path, const std::string& sweep_name,
+    std::span<const TrialSpec> trials);
+
+/// The trials a resumed run still has to execute, in index order.
+[[nodiscard]] std::vector<TrialSpec> missing_trials(
+    const CampaignScan& scan, std::span<const TrialSpec> trials);
+
+}  // namespace adaptbf

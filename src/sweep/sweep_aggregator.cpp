@@ -9,10 +9,14 @@
 namespace adaptbf {
 
 SampleSummary summarize_samples(std::span<const double> values) {
-  SampleSummary summary;
-  if (values.empty()) return summary;
   StreamingStats stats;
   for (const double v : values) stats.add(v);
+  return summarize_stats(stats);
+}
+
+SampleSummary summarize_stats(const StreamingStats& stats) {
+  SampleSummary summary;
+  if (stats.count() == 0) return summary;
   summary.n = stats.count();
   summary.mean = stats.mean();
   summary.stddev = stats.stddev();
@@ -52,51 +56,89 @@ std::string CellStats::cell_id() const {
   return key.cell_id();
 }
 
-std::vector<CellStats> aggregate_sweep(std::span<const TrialResult> trials) {
-  // Bucket trial indices per cell, keeping first-appearance cell order.
-  struct Bucket {
-    std::vector<const TrialResult*> members;
-  };
-  std::vector<std::string> order;
-  std::unordered_map<std::string, Bucket> buckets;
-  for (const auto& trial : trials) {
-    const std::string id = trial.cell_id();
-    auto [it, inserted] = buckets.try_emplace(id);
-    if (inserted) order.push_back(id);
-    it->second.members.push_back(&trial);
+void StreamingCellAggregator::add(const TrialResult& trial) {
+  const std::string id = trial.cell_id();
+  auto [it, inserted] = index_.try_emplace(id, cells_.size());
+  if (inserted) {
+    CellAccumulator cell;
+    cell.scenario = trial.scenario;
+    cell.policy = trial.policy;
+    cell.num_osts = trial.num_osts;
+    cell.max_token_rate = trial.max_token_rate;
+    cell.first_index = trial.index;
+    cells_.push_back(std::move(cell));
   }
+  CellAccumulator& cell = cells_[it->second];
+  cell.first_index = std::min(cell.first_index, trial.index);
+  ++cell.trials;
+  cell.mibps.add(trial.aggregate_mibps);
+  cell.fairness.add(trial.fairness);
+  cell.p99_ms.add(trial.p99_ms);
+  cell.horizon_sum += trial.horizon_s;
+  cell.total_bytes += trial.total_bytes;
+  ++trials_;
+}
 
-  std::vector<CellStats> cells;
-  cells.reserve(order.size());
-  for (const auto& id : order) {
-    const Bucket& bucket = buckets.at(id);
-    CellStats cell;
-    const TrialResult& first = *bucket.members.front();
-    cell.scenario = first.scenario;
-    cell.policy = first.policy;
-    cell.num_osts = first.num_osts;
-    cell.max_token_rate = first.max_token_rate;
-    cell.trials = bucket.members.size();
-
-    std::vector<double> mibps, fairness, p99;
-    mibps.reserve(cell.trials);
-    fairness.reserve(cell.trials);
-    p99.reserve(cell.trials);
-    double horizon_sum = 0.0;
-    for (const TrialResult* trial : bucket.members) {
-      mibps.push_back(trial->aggregate_mibps);
-      fairness.push_back(trial->fairness);
-      p99.push_back(trial->p99_ms);
-      horizon_sum += trial->horizon_s;
-      cell.total_bytes += trial->total_bytes;
+void StreamingCellAggregator::merge(const StreamingCellAggregator& other) {
+  for (const CellAccumulator& theirs : other.cells_) {
+    TrialSpec key;
+    key.scenario = theirs.scenario;
+    key.policy = theirs.policy;
+    key.num_osts = theirs.num_osts;
+    key.max_token_rate = theirs.max_token_rate;
+    auto [it, inserted] = index_.try_emplace(key.cell_id(), cells_.size());
+    if (inserted) {
+      cells_.push_back(theirs);
+      continue;
     }
-    cell.aggregate_mibps = summarize_samples(mibps);
-    cell.fairness = summarize_samples(fairness);
-    cell.p99_ms = summarize_samples(p99);
-    cell.mean_horizon_s = horizon_sum / static_cast<double>(cell.trials);
-    cells.push_back(std::move(cell));
+    CellAccumulator& ours = cells_[it->second];
+    ours.first_index = std::min(ours.first_index, theirs.first_index);
+    ours.trials += theirs.trials;
+    ours.mibps.merge(theirs.mibps);
+    ours.fairness.merge(theirs.fairness);
+    ours.p99_ms.merge(theirs.p99_ms);
+    ours.horizon_sum += theirs.horizon_sum;
+    ours.total_bytes += theirs.total_bytes;
   }
-  return cells;
+  trials_ += other.trials_;
+}
+
+std::vector<CellStats> StreamingCellAggregator::cells() const {
+  // Order by each cell's lowest trial index: grid order for an expanded
+  // sweep, regardless of the order rows were added (a resumed journal
+  // holds rows in completion order, not index order).
+  std::vector<const CellAccumulator*> ordered;
+  ordered.reserve(cells_.size());
+  for (const auto& cell : cells_) ordered.push_back(&cell);
+  std::sort(ordered.begin(), ordered.end(),
+            [](const CellAccumulator* a, const CellAccumulator* b) {
+              return a->first_index < b->first_index;
+            });
+
+  std::vector<CellStats> out;
+  out.reserve(ordered.size());
+  for (const CellAccumulator* acc : ordered) {
+    CellStats cell;
+    cell.scenario = acc->scenario;
+    cell.policy = acc->policy;
+    cell.num_osts = acc->num_osts;
+    cell.max_token_rate = acc->max_token_rate;
+    cell.trials = acc->trials;
+    cell.aggregate_mibps = summarize_stats(acc->mibps);
+    cell.fairness = summarize_stats(acc->fairness);
+    cell.p99_ms = summarize_stats(acc->p99_ms);
+    cell.mean_horizon_s =
+        acc->horizon_sum / static_cast<double>(acc->trials);
+    cell.total_bytes = acc->total_bytes;
+    out.push_back(std::move(cell));
+  }
+  return out;
+}
+
+std::vector<CellStats> aggregate_sweep(std::span<const TrialResult> trials) {
+  StreamingCellAggregator aggregator;
+  for (const auto& trial : trials) aggregator.add(trial);
+  return aggregator.cells();
 }
 
 }  // namespace adaptbf

@@ -10,8 +10,10 @@
 #include <cstdint>
 #include <span>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
+#include "support/stats.h"
 #include "sweep/sweep_runner.h"
 
 namespace adaptbf {
@@ -28,6 +30,11 @@ struct SampleSummary {
 
 /// Summarizes raw samples. Empty input gives an all-zero summary.
 [[nodiscard]] SampleSummary summarize_samples(std::span<const double> values);
+
+/// Summary of an already-accumulated StreamingStats (the streaming
+/// equivalent of summarize_samples; both produce identical numbers for
+/// the same add() sequence).
+[[nodiscard]] SampleSummary summarize_stats(const StreamingStats& stats);
 
 /// Two-sided 95% Student t critical value for `df` degrees of freedom.
 /// Exact table for df <= 30; conservative (next lower df, i.e. never
@@ -51,9 +58,48 @@ struct CellStats {
   [[nodiscard]] std::string cell_id() const;
 };
 
-/// Groups trials into cells (first-appearance order, which for an
-/// expand()ed sweep is grid order) and computes per-cell statistics.
-/// Deterministic: depends only on the trial list, not execution order.
+/// Incremental per-cell accumulation over StreamingStats: add() one trial
+/// at a time (jobs payloads are never touched, so rows streamed off a
+/// campaign journal aggregate in bounded memory), then cells() emits the
+/// per-cell statistics ordered by each cell's lowest trial index — grid
+/// order, independent of the order trials were added in.
+///
+/// Numeric determinism caveat: Welford accumulation is sequence-dependent
+/// in the last ulps, so bit-identical artifacts require feeding trials in
+/// index order (every caller in this repo does). merge() combines two
+/// aggregators via StreamingStats::merge for sharded/multi-process
+/// campaigns; merged statistics are mathematically equal but not
+/// bit-guaranteed against the single-pass order.
+class StreamingCellAggregator {
+ public:
+  void add(const TrialResult& trial);
+  void merge(const StreamingCellAggregator& other);
+
+  [[nodiscard]] std::size_t trials_added() const { return trials_; }
+  [[nodiscard]] std::vector<CellStats> cells() const;
+
+ private:
+  struct CellAccumulator {
+    std::string scenario;
+    BwControl policy = BwControl::kNone;
+    std::uint32_t num_osts = 1;
+    double max_token_rate = -1.0;
+    std::size_t first_index = 0;  ///< Lowest trial index seen in the cell.
+    std::size_t trials = 0;
+    StreamingStats mibps;
+    StreamingStats fairness;
+    StreamingStats p99_ms;
+    double horizon_sum = 0.0;
+    std::uint64_t total_bytes = 0;
+  };
+  std::vector<CellAccumulator> cells_;
+  std::unordered_map<std::string, std::size_t> index_;  ///< cell_id -> slot.
+  std::size_t trials_ = 0;
+};
+
+/// Groups trials into cells and computes per-cell statistics via
+/// StreamingCellAggregator. Deterministic: depends only on the trial
+/// list, not execution order.
 [[nodiscard]] std::vector<CellStats> aggregate_sweep(
     std::span<const TrialResult> trials);
 

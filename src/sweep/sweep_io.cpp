@@ -35,14 +35,6 @@ std::vector<std::string> split_list(std::string_view text) {
   return items;
 }
 
-std::optional<BwControl> control_from_name(std::string_view name) {
-  if (name == "none") return BwControl::kNone;
-  if (name == "static") return BwControl::kStatic;
-  if (name == "adaptive") return BwControl::kAdaptive;
-  if (name == "gift") return BwControl::kGift;
-  return std::nullopt;
-}
-
 /// Builtin paper scenarios by short name. The control baked in here is a
 /// placeholder: expand() re-applies the policy axis per trial.
 std::optional<SweepScenario> builtin_scenario(std::string_view name) {
@@ -81,7 +73,7 @@ SweepLoadResult load_sweep(std::string_view text, const std::string& base_dir) {
   static const std::unordered_set<std::string> known_grid_keys{
       "osts", "token_rate"};
   static const std::unordered_set<std::string> known_output_keys{
-      "csv", "json"};
+      "csv", "json", "jsonl"};
   for (const auto& section : ini->sections()) {
     const std::unordered_set<std::string>* known = nullptr;
     if (section == "sweep") known = &known_sweep_keys;
@@ -100,7 +92,7 @@ SweepLoadResult load_sweep(std::string_view text, const std::string& base_dir) {
   if (!policy_list.has_value())
     return fail("[sweep] needs policies = <comma list>");
   for (const auto& name : split_list(*policy_list)) {
-    const auto policy = control_from_name(name);
+    const auto policy = bw_control_from_name(name);
     if (!policy.has_value())
       return fail("bad policy '" + name + "' (none|static|adaptive|gift)");
     spec.policies.push_back(*policy);
@@ -174,6 +166,7 @@ SweepLoadResult load_sweep(std::string_view text, const std::string& base_dir) {
   SweepLoadResult result;
   if (auto csv = ini->get("output", "csv")) result.csv_path = *csv;
   if (auto json = ini->get("output", "json")) result.json_path = *json;
+  if (auto jsonl = ini->get("output", "jsonl")) result.jsonl_path = *jsonl;
   result.spec = std::move(spec);
   return result;
 }

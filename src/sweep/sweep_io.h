@@ -19,6 +19,7 @@
 //   [output]                        ; optional default export paths
 //   csv = campaign.csv
 //   json = campaign.json
+//   jsonl = campaign.jsonl          ; durable trial journal (resumable)
 //
 // Builtin scenario names: token_allocation, redistribution,
 // recompensation (the paper's §IV-D/E/F workloads). Any other value is
@@ -39,6 +40,10 @@ struct SweepLoadResult {
   std::string error;      ///< Empty on success.
   std::string csv_path;   ///< From [output] csv; empty if absent.
   std::string json_path;  ///< From [output] json; empty if absent.
+  /// From [output] jsonl; empty if absent. Names the campaign journal
+  /// (sweep/trial_sink.h): trials stream to it as they complete and an
+  /// interrupted campaign resumes from it (sweep_cli --resume).
+  std::string jsonl_path;
   [[nodiscard]] bool ok() const { return spec.has_value(); }
 };
 

@@ -1,11 +1,13 @@
 #include "sweep/sweep_runner.h"
 
 #include <atomic>
+#include <exception>
 #include <mutex>
 #include <thread>
 #include <utility>
 
 #include "support/stats.h"
+#include "sweep/trial_sink.h"
 
 namespace adaptbf {
 
@@ -71,28 +73,54 @@ std::vector<TrialResult> SweepRunner::run(
   // worker that claimed it, so the single-threaded simulator invariants
   // hold and results land in their index's slot regardless of timing.
   std::atomic<std::size_t> next{0};
-  std::size_t completed = 0;  // Guarded by progress_mutex.
+  std::atomic<bool> abort{false};
+  std::size_t completed = 0;            // Guarded by progress_mutex.
+  std::exception_ptr first_error;       // Guarded by progress_mutex.
   std::mutex progress_mutex;
 
+  // Exception barrier: a throw escaping a worker thread would call
+  // std::terminate and take the whole campaign down. Capture the first
+  // exception, stop claiming trials, and rethrow after the join — already
+  // completed (and sunk) trials stay durable.
   auto worker_loop = [&]() {
     for (;;) {
+      if (abort.load(std::memory_order_relaxed)) return;
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= trials.size()) return;
-      const ExperimentResult result =
-          run_experiment(trials[i].spec, options_.experiment);
-      results[i] = summarize_trial(trials[i], result);
-      if (options_.on_trial_done) {
-        // Count inside the lock so callbacks see a strictly increasing
-        // 1..total sequence even when workers finish back to back.
+      try {
+        const ExperimentResult result =
+            run_experiment(trials[i].spec, options_.experiment);
+        results[i] = summarize_trial(trials[i], result);
+        if (options_.sink != nullptr || options_.on_trial_done) {
+          // Count inside the lock so callbacks see a strictly increasing
+          // 1..total sequence even when workers finish back to back; the
+          // same lock serializes sink appends. Sink I/O (row formatting,
+          // write, periodic fsync) therefore runs under the lock — a
+          // deliberate simplicity tradeoff: one trial is a whole
+          // simulation (>> the cost of journaling its ~1 KiB row), so
+          // workers are virtually never contended here.
+          std::lock_guard<std::mutex> lock(progress_mutex);
+          if (options_.sink != nullptr) options_.sink->append(results[i]);
+          if (options_.on_trial_done)
+            options_.on_trial_done(++completed, trials.size(), results[i]);
+          if (options_.sink != nullptr) {
+            // Sunk rows carry the jobs payload on disk; releasing it here
+            // keeps campaign memory independent of completed-trial count.
+            results[i].jobs.clear();
+            results[i].jobs.shrink_to_fit();
+          }
+        }
+      } catch (...) {
         std::lock_guard<std::mutex> lock(progress_mutex);
-        options_.on_trial_done(++completed, trials.size(), results[i]);
+        if (!first_error) first_error = std::current_exception();
+        abort.store(true, std::memory_order_relaxed);
+        return;
       }
     }
   };
 
   if (workers == 1) {
-    // Run inline: no thread spawn, and exceptions (CHECK aborts aside)
-    // surface directly — handy under a debugger.
+    // Run inline: no thread spawn — handy under a debugger.
     worker_loop();
   } else {
     std::vector<std::thread> pool;
@@ -101,6 +129,15 @@ std::vector<TrialResult> SweepRunner::run(
       pool.emplace_back(worker_loop);
     for (auto& thread : pool) thread.join();
   }
+  if (options_.sink != nullptr) {
+    // Final durability point for the tail batch, even on abort.
+    try {
+      options_.sink->flush();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
   return results;
 }
 

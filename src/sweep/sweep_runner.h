@@ -47,6 +47,8 @@ struct TrialResult {
 [[nodiscard]] TrialResult summarize_trial(const TrialSpec& trial,
                                           const ExperimentResult& result);
 
+class TrialSink;
+
 class SweepRunner {
  public:
   struct Options {
@@ -61,6 +63,12 @@ class SweepRunner {
     std::function<void(std::size_t completed, std::size_t total,
                        const TrialResult& result)>
         on_trial_done;
+    /// Streaming mode: every completed trial is appended here (serialized
+    /// under the same mutex as on_trial_done, sink first) and its `jobs`
+    /// payload released from the returned results afterwards, so peak
+    /// memory stops scaling with the completed-trial count. The sink must
+    /// outlive run(); the caller owns it.
+    TrialSink* sink = nullptr;
   };
 
   SweepRunner();
@@ -68,6 +76,12 @@ class SweepRunner {
 
   /// Expands and runs the full grid. Results are ordered by trial index
   /// and bit-identical regardless of the worker-thread count.
+  ///
+  /// Exception safety: a throw from run_experiment, the sink, or the
+  /// progress callback stops the campaign — remaining trials are not
+  /// started, the pool is joined, the sink flushed, and the FIRST
+  /// exception rethrown on the calling thread. Worker threads never leak
+  /// an exception (which would std::terminate the process).
   [[nodiscard]] std::vector<TrialResult> run(const SweepSpec& sweep) const;
 
   /// Runs an explicit trial list (already expanded).

@@ -1,0 +1,375 @@
+#include "sweep/trial_sink.h"
+
+#include <charconv>
+#include <cinttypes>
+#include <cstring>
+#include <filesystem>
+#include <limits>
+#include <stdexcept>
+#include <system_error>
+
+#include "support/json.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
+namespace adaptbf {
+
+namespace {
+
+// ------------------------------------------------------------- row writer
+
+void append_field(std::string& out, const char* key, std::uint64_t v) {
+  out += key;
+  out += std::to_string(v);
+}
+
+void append_field(std::string& out, const char* key, double v) {
+  out += key;
+  out += json_num_exact(v);
+}
+
+// --------------------------------------------------------- strict parser
+//
+// The journal is machine-written by the functions above, so the reader is
+// a strict mirror: exact key order, exact structure. Anything else —
+// truncation, hand edits, interleaved crash garbage — fails the parse and
+// the row counts as missing (the resume plan re-runs it). This is the
+// crash-safety property: a row is either bit-exact or not a row.
+
+struct Cursor {
+  const char* p;
+  const char* end;
+  [[nodiscard]] bool done() const { return p == end; }
+};
+
+bool lit(Cursor& c, std::string_view token) {
+  if (static_cast<std::size_t>(c.end - c.p) < token.size()) return false;
+  if (std::memcmp(c.p, token.data(), token.size()) != 0) return false;
+  c.p += token.size();
+  return true;
+}
+
+bool parse_string(Cursor& c, std::string& out) {
+  if (!lit(c, "\"")) return false;
+  out.clear();
+  while (c.p != c.end) {
+    const char ch = *c.p++;
+    if (ch == '"') return true;
+    if (ch == '\\') {
+      if (c.p == c.end) return false;
+      const char esc = *c.p++;
+      if (esc == '"' || esc == '\\') {
+        out += esc;
+      } else if (esc == 'u') {
+        // The writer only \u-escapes control characters (< 0x20).
+        if (c.end - c.p < 4) return false;
+        unsigned value = 0;
+        for (int i = 0; i < 4; ++i) {
+          const char h = *c.p++;
+          value <<= 4;
+          if (h >= '0' && h <= '9') value |= static_cast<unsigned>(h - '0');
+          else if (h >= 'a' && h <= 'f')
+            value |= static_cast<unsigned>(h - 'a' + 10);
+          else return false;
+        }
+        if (value >= 0x20) return false;
+        out += static_cast<char>(value);
+      } else {
+        return false;
+      }
+    } else if (static_cast<unsigned char>(ch) < 0x20) {
+      return false;
+    } else {
+      out += ch;
+    }
+  }
+  return false;  // Unterminated string.
+}
+
+bool parse_u64(Cursor& c, std::uint64_t& out) {
+  auto [ptr, ec] = std::from_chars(c.p, c.end, out);
+  if (ec != std::errc{}) return false;
+  c.p = ptr;
+  return true;
+}
+
+bool parse_u32(Cursor& c, std::uint32_t& out) {
+  std::uint64_t v = 0;
+  if (!parse_u64(c, v) || v > std::numeric_limits<std::uint32_t>::max())
+    return false;
+  out = static_cast<std::uint32_t>(v);
+  return true;
+}
+
+bool parse_i64(Cursor& c, std::int64_t& out) {
+  auto [ptr, ec] = std::from_chars(c.p, c.end, out);
+  if (ec != std::errc{}) return false;
+  c.p = ptr;
+  return true;
+}
+
+/// JSON number or `null` (the writer's encoding for non-finite doubles).
+bool parse_double_or_null(Cursor& c, double& out) {
+  if (lit(c, "null")) {
+    out = std::numeric_limits<double>::quiet_NaN();
+    return true;
+  }
+  auto [ptr, ec] = std::from_chars(c.p, c.end, out);
+  if (ec != std::errc{}) return false;
+  c.p = ptr;
+  return true;
+}
+
+bool parse_bool(Cursor& c, bool& out) {
+  if (lit(c, "true")) { out = true; return true; }
+  if (lit(c, "false")) { out = false; return true; }
+  return false;
+}
+
+bool parse_row(std::string_view line, TrialResult& out, bool keep_jobs) {
+  Cursor c{line.data(), line.data() + line.size()};
+  out = TrialResult{};
+  std::uint64_t index = 0;
+  std::string policy_name;
+  if (!lit(c, "{\"trial\":") || !parse_u64(c, index)) return false;
+  out.index = static_cast<std::size_t>(index);
+  if (!lit(c, ",\"scenario\":") || !parse_string(c, out.scenario))
+    return false;
+  if (!lit(c, ",\"policy\":") || !parse_string(c, policy_name)) return false;
+  const auto policy = bw_control_from_name(policy_name);
+  if (!policy.has_value()) return false;
+  out.policy = *policy;
+  if (!lit(c, ",\"osts\":") || !parse_u32(c, out.num_osts)) return false;
+  if (!lit(c, ",\"token_rate\":") ||
+      !parse_double_or_null(c, out.max_token_rate))
+    return false;
+  if (!lit(c, ",\"repetition\":") || !parse_u32(c, out.repetition))
+    return false;
+  if (!lit(c, ",\"seed\":") || !parse_u64(c, out.seed)) return false;
+  if (!lit(c, ",\"aggregate_mibps\":") ||
+      !parse_double_or_null(c, out.aggregate_mibps))
+    return false;
+  if (!lit(c, ",\"fairness\":") || !parse_double_or_null(c, out.fairness))
+    return false;
+  if (!lit(c, ",\"p50_ms\":") || !parse_double_or_null(c, out.p50_ms))
+    return false;
+  if (!lit(c, ",\"p95_ms\":") || !parse_double_or_null(c, out.p95_ms))
+    return false;
+  if (!lit(c, ",\"p99_ms\":") || !parse_double_or_null(c, out.p99_ms))
+    return false;
+  if (!lit(c, ",\"horizon_s\":") || !parse_double_or_null(c, out.horizon_s))
+    return false;
+  if (!lit(c, ",\"total_bytes\":") || !parse_u64(c, out.total_bytes))
+    return false;
+  if (!lit(c, ",\"events\":") || !parse_u64(c, out.events_dispatched))
+    return false;
+  if (!lit(c, ",\"jobs\":[")) return false;
+  bool first = true;
+  while (!lit(c, "]")) {
+    if (!first && !lit(c, ",")) return false;
+    first = false;
+    JobSummary job;
+    std::uint32_t id = 0;
+    std::int64_t finish_ns = 0;
+    if (!lit(c, "{\"id\":") || !parse_u32(c, id)) return false;
+    job.id = JobId(id);
+    if (!lit(c, ",\"name\":") || !parse_string(c, job.name)) return false;
+    if (!lit(c, ",\"nodes\":") || !parse_u32(c, job.nodes)) return false;
+    if (!lit(c, ",\"mean_mibps\":") ||
+        !parse_double_or_null(c, job.mean_mibps))
+      return false;
+    if (!lit(c, ",\"rpcs\":") || !parse_u64(c, job.rpcs_completed))
+      return false;
+    if (!lit(c, ",\"bytes\":") || !parse_u64(c, job.bytes_completed))
+      return false;
+    if (!lit(c, ",\"finish_ns\":") || !parse_i64(c, finish_ns)) return false;
+    job.finish_time = SimTime(finish_ns);
+    if (!lit(c, ",\"finished\":") || !parse_bool(c, job.finished))
+      return false;
+    if (!lit(c, "}")) return false;
+    if (keep_jobs) out.jobs.push_back(std::move(job));
+  }
+  if (!lit(c, "}")) return false;
+  return c.done();
+}
+
+void sync_to_disk(std::FILE* file) {
+#if defined(__unix__) || defined(__APPLE__)
+  ::fsync(fileno(file));
+#else
+  (void)file;
+#endif
+}
+
+}  // namespace
+
+std::string campaign_header_line(const CampaignHeader& header) {
+  char hash[24];
+  std::snprintf(hash, sizeof(hash), "%016" PRIx64, header.grid_hash);
+  std::string out = "{\"adaptbf_sweep\":1,\"name\":";
+  out += json_quote(header.sweep);
+  out += ",\"grid_hash\":\"";
+  out += hash;
+  out += "\",\"trials\":";
+  out += std::to_string(header.trials);
+  out += '}';
+  return out;
+}
+
+bool parse_campaign_header(std::string_view line, CampaignHeader& out) {
+  Cursor c{line.data(), line.data() + line.size()};
+  out = CampaignHeader{};
+  if (!lit(c, "{\"adaptbf_sweep\":1,\"name\":") || !parse_string(c, out.sweep))
+    return false;
+  if (!lit(c, ",\"grid_hash\":\"")) return false;
+  if (c.end - c.p < 16) return false;
+  auto [ptr, ec] = std::from_chars(c.p, c.p + 16, out.grid_hash, 16);
+  if (ec != std::errc{} || ptr != c.p + 16) return false;
+  c.p = ptr;
+  if (!lit(c, "\"") || !lit(c, ",\"trials\":") || !parse_u64(c, out.trials))
+    return false;
+  if (!lit(c, "}")) return false;
+  return c.done();
+}
+
+std::string trial_to_jsonl(const TrialResult& trial) {
+  std::string out;
+  out.reserve(256 + trial.jobs.size() * 128);
+  append_field(out, "{\"trial\":",
+               static_cast<std::uint64_t>(trial.index));
+  out += ",\"scenario\":";
+  out += json_quote(trial.scenario);
+  out += ",\"policy\":";
+  out += json_quote(bw_control_config_name(trial.policy));
+  append_field(out, ",\"osts\":", std::uint64_t{trial.num_osts});
+  append_field(out, ",\"token_rate\":", trial.max_token_rate);
+  append_field(out, ",\"repetition\":", std::uint64_t{trial.repetition});
+  append_field(out, ",\"seed\":", trial.seed);
+  append_field(out, ",\"aggregate_mibps\":", trial.aggregate_mibps);
+  append_field(out, ",\"fairness\":", trial.fairness);
+  append_field(out, ",\"p50_ms\":", trial.p50_ms);
+  append_field(out, ",\"p95_ms\":", trial.p95_ms);
+  append_field(out, ",\"p99_ms\":", trial.p99_ms);
+  append_field(out, ",\"horizon_s\":", trial.horizon_s);
+  append_field(out, ",\"total_bytes\":", trial.total_bytes);
+  append_field(out, ",\"events\":", trial.events_dispatched);
+  out += ",\"jobs\":[";
+  bool first = true;
+  for (const auto& job : trial.jobs) {
+    if (!first) out += ',';
+    first = false;
+    append_field(out, "{\"id\":", std::uint64_t{job.id.value()});
+    out += ",\"name\":";
+    out += json_quote(job.name);
+    append_field(out, ",\"nodes\":", std::uint64_t{job.nodes});
+    append_field(out, ",\"mean_mibps\":", job.mean_mibps);
+    append_field(out, ",\"rpcs\":", job.rpcs_completed);
+    append_field(out, ",\"bytes\":", job.bytes_completed);
+    out += ",\"finish_ns\":";
+    out += std::to_string(job.finish_time.ns());
+    out += ",\"finished\":";
+    out += job.finished ? "true" : "false";
+    out += '}';
+  }
+  out += "]}";
+  return out;
+}
+
+bool trial_from_jsonl(std::string_view line, TrialResult& out) {
+  return parse_row(line, out, /*keep_jobs=*/true);
+}
+
+bool trial_scalars_from_jsonl(std::string_view line, TrialResult& out) {
+  return parse_row(line, out, /*keep_jobs=*/false);
+}
+
+// --------------------------------------------------------- JsonlTrialSink
+
+JsonlTrialSink::JsonlTrialSink(std::FILE* file, Options options)
+    : file_(file), options_(options) {
+  if (options_.flush_every == 0) options_.flush_every = 1;
+}
+
+JsonlTrialSink::OpenResult JsonlTrialSink::open_fresh(
+    const std::string& path, const CampaignHeader& header, Options options) {
+  OpenResult result;
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  if (file == nullptr) {
+    result.error = "cannot create '" + path + "'";
+    return result;
+  }
+  const std::string line = campaign_header_line(header) + "\n";
+  if (std::fwrite(line.data(), 1, line.size(), file) != line.size() ||
+      std::fflush(file) != 0) {
+    std::fclose(file);
+    result.error = "cannot write header to '" + path + "'";
+    return result;
+  }
+  if (options.fsync) sync_to_disk(file);
+  result.sink.reset(new JsonlTrialSink(file, options));
+  return result;
+}
+
+JsonlTrialSink::OpenResult JsonlTrialSink::open_append(const std::string& path,
+                                                       std::uint64_t keep_bytes,
+                                                       bool add_newline,
+                                                       Options options) {
+  OpenResult result;
+  std::error_code ec;
+  const auto size = std::filesystem::file_size(path, ec);
+  if (ec) {
+    result.error = "cannot stat '" + path + "': " + ec.message();
+    return result;
+  }
+  if (keep_bytes > size) {
+    result.error = "journal '" + path + "' shrank since it was scanned";
+    return result;
+  }
+  if (keep_bytes < size) {
+    // Drop a crash's partial tail so the next append starts a clean line.
+    std::filesystem::resize_file(path, keep_bytes, ec);
+    if (ec) {
+      result.error = "cannot truncate '" + path + "': " + ec.message();
+      return result;
+    }
+  }
+  std::FILE* file = std::fopen(path.c_str(), "ab");
+  if (file == nullptr) {
+    result.error = "cannot append to '" + path + "'";
+    return result;
+  }
+  if (add_newline && std::fputc('\n', file) == EOF) {
+    std::fclose(file);
+    result.error = "cannot write to '" + path + "'";
+    return result;
+  }
+  result.sink.reset(new JsonlTrialSink(file, options));
+  return result;
+}
+
+JsonlTrialSink::~JsonlTrialSink() {
+  if (file_ != nullptr) {
+    // Destructor cannot throw; best-effort final durability point.
+    if (std::fflush(file_) == 0 && options_.fsync) sync_to_disk(file_);
+    std::fclose(file_);
+  }
+}
+
+void JsonlTrialSink::append(const TrialResult& result) {
+  const std::string line = trial_to_jsonl(result) + "\n";
+  if (std::fwrite(line.data(), 1, line.size(), file_) != line.size())
+    throw std::runtime_error("campaign journal: short write");
+  ++rows_;
+  if (++pending_ >= options_.flush_every) flush();
+}
+
+void JsonlTrialSink::flush() {
+  if (std::fflush(file_) != 0)
+    throw std::runtime_error("campaign journal: flush failed");
+  if (options_.fsync) sync_to_disk(file_);
+  pending_ = 0;
+}
+
+}  // namespace adaptbf

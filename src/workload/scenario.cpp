@@ -14,6 +14,24 @@ std::string_view to_string(BwControl policy) {
   return "?";
 }
 
+std::string_view bw_control_config_name(BwControl policy) {
+  switch (policy) {
+    case BwControl::kNone: return "none";
+    case BwControl::kStatic: return "static";
+    case BwControl::kAdaptive: return "adaptive";
+    case BwControl::kGift: return "gift";
+  }
+  return "?";
+}
+
+std::optional<BwControl> bw_control_from_name(std::string_view name) {
+  if (name == "none") return BwControl::kNone;
+  if (name == "static") return BwControl::kStatic;
+  if (name == "adaptive") return BwControl::kAdaptive;
+  if (name == "gift") return BwControl::kGift;
+  return std::nullopt;
+}
+
 std::uint32_t ScenarioSpec::total_nodes() const {
   std::uint32_t total = 0;
   for (const auto& job : jobs) total += job.nodes;

@@ -8,7 +8,9 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "ost/disk_model.h"
@@ -28,6 +30,14 @@ enum class BwControl {
 };
 
 [[nodiscard]] std::string_view to_string(BwControl policy);
+
+/// Config-file policy token: "none" | "static" | "adaptive" | "gift".
+/// Unlike to_string (display names), these round-trip through
+/// bw_control_from_name; the scenario/sweep loaders and the campaign
+/// journal share them.
+[[nodiscard]] std::string_view bw_control_config_name(BwControl policy);
+[[nodiscard]] std::optional<BwControl> bw_control_from_name(
+    std::string_view name);
 
 /// Shape of one process's I/O within a job.
 struct ProcessPattern {

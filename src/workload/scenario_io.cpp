@@ -158,14 +158,6 @@ bool parse_process(std::string_view text, ProcessPattern& pattern,
   return false;
 }
 
-std::optional<BwControl> control_from_name(std::string_view name) {
-  if (name == "none") return BwControl::kNone;
-  if (name == "static") return BwControl::kStatic;
-  if (name == "adaptive") return BwControl::kAdaptive;
-  if (name == "gift") return BwControl::kGift;
-  return std::nullopt;
-}
-
 }  // namespace
 
 ScenarioLoadResult load_scenario(std::string_view text) {
@@ -212,7 +204,7 @@ ScenarioLoadResult load_scenario(std::string_view text) {
   // [scenario]
   if (auto name = ini->get("scenario", "name")) spec.name = *name;
   if (auto control = ini->get("scenario", "control")) {
-    const auto parsed = control_from_name(*control);
+    const auto parsed = bw_control_from_name(*control);
     if (!parsed.has_value())
       return fail("bad control '" + *control +
                   "' (none|static|adaptive|gift)");

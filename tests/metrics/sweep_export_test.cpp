@@ -1,0 +1,88 @@
+#include "metrics/sweep_export.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <sstream>
+#include <vector>
+
+namespace adaptbf {
+namespace {
+
+TrialResult make_trial(std::size_t index, double mibps) {
+  TrialResult trial;
+  trial.index = index;
+  trial.scenario = "s";
+  trial.policy = BwControl::kStatic;
+  trial.num_osts = 1;
+  trial.max_token_rate = 1200.0;
+  trial.repetition = static_cast<std::uint32_t>(index);
+  trial.seed = 40 + index;
+  trial.aggregate_mibps = mibps;
+  trial.fairness = 0.9;
+  trial.p50_ms = 1.0;
+  trial.p95_ms = 2.0;
+  trial.p99_ms = 3.0;
+  trial.horizon_s = 30.0;
+  trial.total_bytes = 1000;
+  trial.events_dispatched = 10;
+  return trial;
+}
+
+TEST(SweepExport, NonFiniteDoublesEmitNullNeverNanTokens) {
+  // Raw nan/inf tokens are invalid JSON; every double path must render
+  // them as null (and the CSV inherits the same "null" cell).
+  TrialResult trial = make_trial(0, 100.0);
+  trial.fairness = std::numeric_limits<double>::quiet_NaN();
+  trial.p99_ms = std::numeric_limits<double>::infinity();
+  trial.max_token_rate = -std::numeric_limits<double>::infinity();
+  JobSummary job;
+  job.id = JobId(1);
+  job.name = "J1";
+  job.mean_mibps = std::numeric_limits<double>::quiet_NaN();
+  trial.jobs.push_back(job);
+  const std::vector<TrialResult> trials{trial};
+  const auto cells = aggregate_sweep(trials);
+
+  const std::string json = sweep_to_json("x", trials, cells);
+  EXPECT_EQ(json.find("nan"), std::string::npos) << json;
+  EXPECT_EQ(json.find("inf"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"fairness\":null"), std::string::npos);
+  EXPECT_NE(json.find("\"mean_mibps\":null"), std::string::npos);
+
+  const std::string csv = sweep_trials_table(trials).to_csv();
+  EXPECT_EQ(csv.find("nan"), std::string::npos) << csv;
+  EXPECT_EQ(csv.find("inf"), std::string::npos) << csv;
+}
+
+TEST(SweepExport, JsonDocumentConcatenatesFragmentEmitters) {
+  // sweep_to_json is exactly the fragment emitters plus skeleton — the
+  // journal-streaming exporter reuses them, which is what keeps file- and
+  // memory-derived documents byte-identical.
+  const std::vector<TrialResult> trials{make_trial(0, 100.0),
+                                        make_trial(1, 110.0)};
+  const auto cells = aggregate_sweep(trials);
+  std::ostringstream expected;
+  expected << "{\"sweep\":\"x\",\"trials\":[";
+  append_trial_json(expected, trials[0]);
+  expected << ',';
+  append_trial_json(expected, trials[1]);
+  expected << "],\"cells\":[";
+  append_cell_json(expected, cells[0]);
+  expected << "]}";
+  EXPECT_EQ(sweep_to_json("x", trials, cells), expected.str());
+}
+
+TEST(SweepExport, CellsTableHasOneRowPerCell) {
+  const std::vector<TrialResult> trials{make_trial(0, 100.0),
+                                        make_trial(1, 110.0)};
+  const auto cells = aggregate_sweep(trials);
+  ASSERT_EQ(cells.size(), 1u);
+  EXPECT_EQ(cells[0].trials, 2u);
+  const Table table = sweep_cells_table(cells);
+  EXPECT_EQ(table.rows(), 1u);
+  EXPECT_EQ(sweep_trials_table(trials).rows(), 2u);
+}
+
+}  // namespace
+}  // namespace adaptbf

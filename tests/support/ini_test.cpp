@@ -97,5 +97,37 @@ TEST(Trim, StripsBothEnds) {
   EXPECT_EQ(trim("a b"), "a b");
 }
 
+TEST(ParseDouble, AcceptsPlainDecimalAndScientific) {
+  double v = 0.0;
+  EXPECT_TRUE(parse_double("1.5", v));
+  EXPECT_DOUBLE_EQ(v, 1.5);
+  EXPECT_TRUE(parse_double("-2e3", v));
+  EXPECT_DOUBLE_EQ(v, -2000.0);
+  EXPECT_TRUE(parse_double("+0.25", v));
+  EXPECT_DOUBLE_EQ(v, 0.25);
+  EXPECT_TRUE(parse_double(".5", v));
+  EXPECT_DOUBLE_EQ(v, 0.5);
+}
+
+TEST(ParseDouble, RejectsNonFiniteHexAndGarbage) {
+  // Regression: the strtod-based parser accepted nan/inf/hex, letting
+  // non-finite values into configs (and from there into exports).
+  double v = 123.0;
+  for (const char* bad : {"nan", "NaN", "inf", "-inf", "infinity", "0x1p4",
+                          "0x10", "1e999", "-1e999", "", "+", "1.5x",
+                          "++1", "+-1", "+nan"}) {
+    EXPECT_FALSE(parse_double(bad, v)) << "accepted '" << bad << "'";
+    EXPECT_DOUBLE_EQ(v, 123.0) << "out modified by '" << bad << "'";
+  }
+}
+
+TEST(ParseDouble, GetDoubleSharesTheStrictness) {
+  const auto ini = IniFile::parse("[s]\na = nan\nb = 0x1p4\nc = 2.5\n");
+  ASSERT_TRUE(ini.has_value());
+  EXPECT_FALSE(ini->get_double("s", "a").has_value());
+  EXPECT_FALSE(ini->get_double("s", "b").has_value());
+  EXPECT_DOUBLE_EQ(ini->get_double("s", "c").value(), 2.5);
+}
+
 }  // namespace
 }  // namespace adaptbf

@@ -114,6 +114,12 @@ TEST(JainFairness, AllZeroIsDegenerateEqual) {
   EXPECT_DOUBLE_EQ(jain_fairness(v), 1.0);
 }
 
+TEST(JainFairness, EmptyIsDegenerateEqual) {
+  // Regression: empty input used to ADAPTBF_CHECK-abort, killing any
+  // campaign containing a scenario that finishes with zero jobs.
+  EXPECT_DOUBLE_EQ(jain_fairness({}), 1.0);
+}
+
 TEST(JainFairness, ScaleInvariant) {
   std::vector<double> a{1.0, 2.0, 3.0};
   std::vector<double> b{10.0, 20.0, 30.0};

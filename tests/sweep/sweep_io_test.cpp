@@ -132,5 +132,26 @@ TEST(SweepIo, LoadSweepFileMissingFails) {
   EXPECT_FALSE(loaded.ok());
 }
 
+TEST(SweepIo, JsonlOutputKeyParses) {
+  const auto loaded = load_sweep(
+      "[sweep]\npolicies = none\nscenario = token_allocation\n"
+      "[output]\njsonl = campaign.jsonl\n");
+  ASSERT_TRUE(loaded.ok()) << loaded.error;
+  EXPECT_EQ(loaded.jsonl_path, "campaign.jsonl");
+  EXPECT_TRUE(loaded.csv_path.empty());
+}
+
+TEST(SweepIo, NonFiniteTokenRateFails) {
+  // Regression: strtod-based parsing accepted nan/inf/hex token rates,
+  // which then flowed into trial specs and exports.
+  for (const char* bad : {"nan", "inf", "-inf", "0x1p4", "1e999"}) {
+    const auto loaded = load_sweep(
+        std::string("[sweep]\npolicies = none\nscenario = token_allocation\n"
+                    "[grid]\ntoken_rate = ") +
+        bad + "\n");
+    EXPECT_FALSE(loaded.ok()) << "accepted token_rate = " << bad;
+  }
+}
+
 }  // namespace
 }  // namespace adaptbf

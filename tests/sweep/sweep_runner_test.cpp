@@ -2,10 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
 #include <vector>
 
 #include "metrics/sweep_export.h"
 #include "sweep/sweep_aggregator.h"
+#include "sweep/trial_sink.h"
 
 namespace adaptbf {
 namespace {
@@ -139,6 +141,100 @@ TEST(SweepRunner, AllocationTraceDefaultsOffForSweeps) {
   // opt-in for sweeps even though single experiments default it on.
   EXPECT_FALSE(SweepRunner::Options{}.experiment.capture_allocation_trace);
   EXPECT_TRUE(ExperimentOptions{}.capture_allocation_trace);
+}
+
+/// In-memory sink that counts appends and can be told to throw.
+class RecordingSink : public TrialSink {
+ public:
+  std::vector<TrialResult> rows;
+  std::size_t throw_on_append = 0;  ///< 1-based; 0 = never throw.
+  std::size_t flushes = 0;
+
+  void append(const TrialResult& result) override {
+    if (throw_on_append != 0 && rows.size() + 1 == throw_on_append)
+      throw std::runtime_error("sink full");
+    rows.push_back(result);
+  }
+  void flush() override { ++flushes; }
+};
+
+TEST(SweepRunner, WorkerExceptionRethrownOnCallerThread) {
+  // Regression: a throw inside the worker loop used to escape the worker
+  // thread and std::terminate the whole campaign. Now the first exception
+  // is captured, the pool drains, and the caller sees the throw.
+  SweepRunner::Options options;
+  options.threads = 4;
+  std::size_t calls = 0;
+  options.on_trial_done = [&](std::size_t, std::size_t,
+                              const TrialResult&) {
+    if (++calls == 2) throw std::runtime_error("boom");
+  };
+  EXPECT_THROW((void)SweepRunner(options).run(small_sweep()),
+               std::runtime_error);
+}
+
+TEST(SweepRunner, ThrowingSinkStopsCampaignAndRethrows) {
+  RecordingSink sink;
+  sink.throw_on_append = 3;
+  SweepRunner::Options options;
+  options.threads = 2;
+  options.sink = &sink;
+  EXPECT_THROW((void)SweepRunner(options).run(small_sweep()),
+               std::runtime_error);
+  // The campaign stopped early but already-sunk rows survived, and the
+  // runner still hit its final flush (durability point for the tail).
+  // Trials already in flight on other workers may land after the throw,
+  // so the bound is "the 2 before the throw, plus at most one straggler
+  // per other worker" — never the full campaign.
+  EXPECT_GE(sink.rows.size(), 2u);
+  EXPECT_LT(sink.rows.size(), small_sweep().trial_count());
+  EXPECT_GE(sink.flushes, 1u);
+}
+
+TEST(SweepRunner, SinkModeSinksFullRowsAndReleasesJobsPayloads) {
+  const SweepSpec sweep = small_sweep();
+  RecordingSink sink;
+  SweepRunner::Options options;
+  options.threads = 2;
+  options.sink = &sink;
+  const auto results = SweepRunner(options).run(sweep);
+
+  ASSERT_EQ(sink.rows.size(), sweep.trial_count());
+  for (const auto& row : sink.rows)
+    EXPECT_EQ(row.jobs.size(), 2u) << "sink must see the full payload";
+  EXPECT_GE(sink.flushes, 1u);
+  // Returned results keep scalars (progress/debug) but not the per-trial
+  // jobs vectors — that's the bounded-memory contract of sink mode.
+  for (const auto& trial : results) {
+    EXPECT_TRUE(trial.jobs.empty());
+    EXPECT_EQ(trial.jobs.capacity(), 0u);
+    EXPECT_GT(trial.aggregate_mibps, 0.0);
+  }
+
+  // Scalars are bit-identical to a sink-less run.
+  const auto plain = SweepRunner().run(sweep);
+  ASSERT_EQ(plain.size(), results.size());
+  for (std::size_t i = 0; i < plain.size(); ++i) {
+    EXPECT_EQ(plain[i].aggregate_mibps, results[i].aggregate_mibps);
+    EXPECT_EQ(plain[i].events_dispatched, results[i].events_dispatched);
+  }
+}
+
+TEST(SummarizeTrial, ZeroJobScenarioYieldsValidResult) {
+  // Regression: jain_fairness(per_job) used to ADAPTBF_CHECK-abort on a
+  // trial that completed with zero jobs. Empty is defined as fairness 1.
+  TrialSpec trial;
+  trial.index = 5;
+  trial.scenario = "empty";
+  trial.policy = BwControl::kStatic;
+  ExperimentResult result;
+  result.scenario_name = "empty";
+  result.horizon = SimTime(0);
+  const TrialResult summary = summarize_trial(trial, result);
+  EXPECT_EQ(summary.index, 5u);
+  EXPECT_EQ(summary.fairness, 1.0);
+  EXPECT_EQ(summary.aggregate_mibps, 0.0);
+  EXPECT_TRUE(summary.jobs.empty());
 }
 
 TEST(SweepRunner, ZeroThreadsAutoDetects) {
