@@ -13,20 +13,36 @@
 //   $ ./sweep_cli --threads 16 --output campaign.jsonl campaign.ini
 //   $ ./sweep_cli --threads 16 --output campaign.jsonl --resume campaign.ini
 //
+//   # Sharded fan-out: split the grid across K independent OS processes
+//   # (or machines sharing a filesystem). Each process journals its slice
+//   # to <output>.shard-I-of-K and resumes independently; the merge
+//   # validates the set and derives CSV/JSON byte-identical to a
+//   # single-process run.
+//   $ ./sweep_cli --shard-index 0 --shard-count 3 --output c.jsonl c.ini &
+//   $ ./sweep_cli --shard-index 1 --shard-count 3 --output c.jsonl c.ini &
+//   $ ./sweep_cli --shard-index 2 --shard-count 3 --output c.jsonl c.ini &
+//   $ wait
+//   $ ./sweep_cli merge --output merged.jsonl --csv c.csv --json c.json
+//       c.ini c.jsonl.shard-*-of-3        (one line)
+//
 // Trials are independent simulations, so wall time scales down with
 // --threads while results stay bit-identical: the CSV/JSON written with
 // --threads 1 and --threads 8 match byte for byte. With --output, per-trial
 // payloads are released as soon as they are journaled, so campaign memory
 // stays bounded no matter how many trials have completed.
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <exception>
 #include <fstream>
+#include <string>
+#include <vector>
 
 #include "metrics/sweep_export.h"
 #include "support/table.h"
 #include "sweep/resume.h"
+#include "sweep/shard.h"
 #include "sweep/sweep_aggregator.h"
 #include "sweep/sweep_io.h"
 #include "sweep/sweep_runner.h"
@@ -57,21 +73,150 @@ SweepRunner::Options runner_options(std::uint32_t threads, TrialSink* sink) {
   return options;
 }
 
+/// Strict decimal parse for shard flags: a garbage or empty value (an
+/// unset $SLURM_PROCID, say) must error, not atoi-coerce to shard 0 and
+/// have two processes append to the same journal.
+bool parse_u32_arg(const char* text, std::uint32_t& out) {
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long value = std::strtoul(text, &end, 10);
+  if (end == text || *end != '\0' || errno == ERANGE ||
+      value > 0xffffffffUL)
+    return false;
+  out = static_cast<std::uint32_t>(value);
+  return true;
+}
+
+int bad_number(const char* flag, const char* value) {
+  std::fprintf(stderr, "error: %s needs a non-negative integer, got '%s'\n",
+               flag, value);
+  return 2;
+}
+
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--threads N] [--csv PATH] [--json PATH]\n"
-               "          [--output JOURNAL.jsonl [--resume]] [--list] "
-               "<sweep.ini>\n",
-               argv0);
+               "          [--output JOURNAL.jsonl [--resume]]\n"
+               "          [--shard-index I --shard-count K] [--list] "
+               "<sweep.ini>\n"
+               "       %s merge --output MERGED.jsonl [--csv PATH] "
+               "[--json PATH]\n"
+               "          <sweep.ini> <shard.jsonl>...\n",
+               argv0, argv0);
   return 2;
+}
+
+/// Streams the completed journal at `jsonl` into the per-cell table plus
+/// optional CSV/JSON files. Shared by the journaled-run and merge paths.
+int export_from_journal(const std::string& jsonl, const SweepSpec& sweep,
+                        const std::vector<TrialSpec>& trials,
+                        const std::string& csv, const std::string& json) {
+  std::ofstream json_file;
+  if (!json.empty()) {
+    json_file.open(json, std::ios::binary);
+    if (!json_file) {
+      std::fprintf(stderr, "error: could not write %s\n", json.c_str());
+      return 1;
+    }
+  }
+  JsonlExportResult exported = export_campaign_from_jsonl(
+      jsonl, sweep.name, trials, json.empty() ? nullptr : &json_file);
+  if (!exported.ok()) {
+    std::fprintf(stderr, "error: %s\n", exported.error.c_str());
+    return 1;
+  }
+  if (!json.empty()) {
+    json_file.flush();
+    if (!json_file.good()) {
+      std::fprintf(stderr, "error: could not write %s\n", json.c_str());
+      return 1;
+    }
+    json_file.close();
+    std::fprintf(stderr, "wrote %s\n", json.c_str());
+  }
+
+  const Table cell_table = sweep_cells_table(exported.cells);
+  std::printf(
+      "%s\n",
+      cell_table.to_string("Campaign aggregates (mean over seeds, 95% CI)")
+          .c_str());
+  if (!csv.empty()) {
+    if (!write_file(csv, cell_table.to_csv())) {
+      std::fprintf(stderr, "error: could not write %s\n", csv.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "wrote %s\n", csv.c_str());
+  }
+  return 0;
+}
+
+/// `sweep_cli merge`: validate a shard set, write the merged journal, and
+/// export its artifacts.
+int run_merge(int argc, char** argv) {
+  const char* csv_path = nullptr;
+  const char* json_path = nullptr;
+  const char* merged_path = nullptr;
+  const char* sweep_path = nullptr;
+  std::vector<std::string> shard_paths;
+  for (int i = 2; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--csv") == 0 && i + 1 < argc) {
+      csv_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--output") == 0 && i + 1 < argc) {
+      merged_path = argv[++i];
+    } else if (argv[i][0] == '-') {
+      std::fprintf(stderr, "unknown merge option '%s'\n", argv[i]);
+      return 2;
+    } else if (sweep_path == nullptr) {
+      sweep_path = argv[i];
+    } else {
+      shard_paths.emplace_back(argv[i]);
+    }
+  }
+  if (sweep_path == nullptr || shard_paths.empty()) return usage(argv[0]);
+
+  SweepLoadResult loaded = load_sweep_file(sweep_path);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "error: %s\n", loaded.error.c_str());
+    return 1;
+  }
+  const SweepSpec& sweep = *loaded.spec;
+  const std::string csv = csv_path != nullptr ? csv_path : loaded.csv_path;
+  const std::string json = json_path != nullptr ? json_path : loaded.json_path;
+  const std::string merged =
+      merged_path != nullptr ? merged_path : loaded.jsonl_path;
+  if (merged.empty()) {
+    std::fprintf(stderr,
+                 "error: merge needs a destination (--output PATH or an "
+                 "[output] jsonl = line)\n");
+    return 2;
+  }
+
+  const std::vector<TrialSpec> trials = sweep.expand();
+  const ShardMergeResult merge_result =
+      merge_shard_journals(shard_paths, sweep.name, trials, merged);
+  if (!merge_result.ok()) {
+    std::fprintf(stderr, "error: %s\n", merge_result.error.c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "merged %zu trials from %u shard(s) into %s\n",
+               merge_result.rows, merge_result.shard_count, merged.c_str());
+  return export_from_journal(merged, sweep, trials, csv, json);
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (argc > 1 && std::strcmp(argv[1], "merge") == 0)
+    return run_merge(argc, argv);
+
   std::uint32_t threads = 0;
   bool list_only = false;
   bool resume = false;
+  ShardRef shard;
+  bool shard_index_given = false;
+  bool shard_count_given = false;
   const char* csv_path = nullptr;
   const char* json_path = nullptr;
   const char* jsonl_path = nullptr;
@@ -85,6 +230,14 @@ int main(int argc, char** argv) {
       json_path = argv[++i];
     } else if (std::strcmp(argv[i], "--output") == 0 && i + 1 < argc) {
       jsonl_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--shard-index") == 0 && i + 1 < argc) {
+      if (!parse_u32_arg(argv[++i], shard.index))
+        return bad_number("--shard-index", argv[i]);
+      shard_index_given = true;
+    } else if (std::strcmp(argv[i], "--shard-count") == 0 && i + 1 < argc) {
+      if (!parse_u32_arg(argv[++i], shard.count))
+        return bad_number("--shard-count", argv[i]);
+      shard_count_given = true;
     } else if (std::strcmp(argv[i], "--resume") == 0) {
       resume = true;
     } else if (std::strcmp(argv[i], "--list") == 0) {
@@ -97,6 +250,21 @@ int main(int argc, char** argv) {
     }
   }
   if (sweep_path == nullptr) return usage(argv[0]);
+  if (shard_index_given != shard_count_given) {
+    // Half a shard identity would default the other half and silently run
+    // the wrong slice (or the whole campaign).
+    std::fprintf(stderr,
+                 "error: --shard-index and --shard-count must be given "
+                 "together\n");
+    return 2;
+  }
+  if (shard_index_given) {
+    const std::string shard_error = shard_ref_error(shard);
+    if (!shard_error.empty()) {
+      std::fprintf(stderr, "error: %s\n", shard_error.c_str());
+      return 2;
+    }
+  }
 
   SweepLoadResult loaded = load_sweep_file(sweep_path);
   if (!loaded.ok()) {
@@ -115,13 +283,31 @@ int main(int argc, char** argv) {
                  "[output] jsonl = line)\n");
     return 2;
   }
+  if (shard.sharded() && jsonl.empty() && !list_only) {
+    std::fprintf(stderr,
+                 "error: a sharded run needs a journal base (--output PATH "
+                 "or an [output] jsonl = line); the shard writes "
+                 "PATH.shard-%u-of-%u\n",
+                 shard.index, shard.count);
+    return 2;
+  }
 
-  const std::vector<TrialSpec> trials = sweep.expand();
+  const std::vector<TrialSpec> all_trials = sweep.expand();
+  // Everything below runs the shard's slice. Unsharded runs alias the
+  // full grid instead of copying it through a {0, 1} plan — materialized
+  // TrialSpecs are the dominant spec memory on large campaigns.
+  const ShardPlan plan =
+      shard.sharded() ? plan_shard(all_trials, shard) : ShardPlan{};
+  const std::vector<TrialSpec>& trials =
+      shard.sharded() ? plan.trials : all_trials;
   std::fprintf(stderr,
                "sweep '%s': %zu scenario(s) x %zu policy(ies) x %u seed(s) "
                "=> %zu trials\n",
                sweep.name.c_str(), sweep.scenarios.size(),
-               sweep.policies.size(), sweep.repetitions, trials.size());
+               sweep.policies.size(), sweep.repetitions, all_trials.size());
+  if (shard.sharded())
+    std::fprintf(stderr, "shard %s: %zu of %zu trials\n", shard.str().c_str(),
+                 trials.size(), all_trials.size());
 
   if (list_only) {
     Table table({"trial", "scenario", "policy", "osts", "token_rate",
@@ -141,11 +327,13 @@ int main(int argc, char** argv) {
 
   std::vector<CellStats> cells;
   std::string json_document;    // In-memory mode only; journaled mode
-  bool json_written = false;    // streams the document to disk directly.
+                                // streams the document to disk directly.
 
   if (!jsonl.empty()) {
     // ------------------------------------------- journaled (sink) mode
-    const CampaignScan scan = scan_campaign_file(jsonl, sweep.name, trials);
+    const std::string journal = shard_journal_path(jsonl, shard);
+    const CampaignScan scan =
+        scan_campaign_file(journal, sweep.name, all_trials, shard);
     if (!scan.ok()) {
       std::fprintf(stderr, "error: %s\n", scan.error.c_str());
       return 1;
@@ -154,7 +342,7 @@ int main(int argc, char** argv) {
       std::fprintf(stderr,
                    "error: journal '%s' already exists (%zu/%zu trials); "
                    "pass --resume to continue it or remove it to restart\n",
-                   jsonl.c_str(), scan.rows, scan.trial_count);
+                   journal.c_str(), scan.rows, scan.expected_rows);
       return 1;
     }
 
@@ -162,9 +350,10 @@ int main(int argc, char** argv) {
     if (scan.fresh) {
       CampaignHeader header;
       header.sweep = sweep.name;
-      header.grid_hash = sweep_grid_hash(trials);
-      header.trials = trials.size();
-      opened = JsonlTrialSink::open_fresh(jsonl, header);
+      header.grid_hash = sweep_grid_hash(all_trials);
+      header.trials = all_trials.size();
+      header.shard = shard;
+      opened = JsonlTrialSink::open_fresh(journal, header);
     } else {
       if (scan.truncated_tail)
         std::fprintf(stderr,
@@ -174,8 +363,8 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "resume: ignoring %zu corrupt line(s)\n",
                      scan.corrupt_lines);
       std::fprintf(stderr, "resume: %zu/%zu trials already journaled\n",
-                   scan.rows, scan.trial_count);
-      opened = JsonlTrialSink::open_append(jsonl, scan.valid_bytes,
+                   scan.rows, scan.expected_rows);
+      opened = JsonlTrialSink::open_append(journal, scan.valid_bytes,
                                            scan.missing_final_newline);
     }
     if (!opened.ok()) {
@@ -195,56 +384,52 @@ int main(int argc, char** argv) {
                      "error: campaign stopped: %s\n"
                      "completed trials are journaled in '%s'; rerun with "
                      "--resume to continue\n",
-                     e.what(), jsonl.c_str());
+                     e.what(), journal.c_str());
         return 1;
       }
     }
     opened.sink.reset();  // Flush + close before re-reading the journal.
+
+    if (shard.sharded()) {
+      // A slice has no artifacts of its own: aggregates over a subset of
+      // seeds would look like — but not be — campaign numbers. Merging is
+      // the only exit.
+      std::fprintf(stderr,
+                   "shard %s complete: %s\n"
+                   "merge the full set when every shard is done:\n"
+                   "  sweep_cli merge --output MERGED.jsonl %s "
+                   "%s.shard-*-of-%u\n",
+                   shard.str().c_str(), journal.c_str(), sweep_path,
+                   jsonl.c_str(), shard.count);
+      return 0;
+    }
 
     // Every artifact derives from the journal, never from in-memory state:
     // interrupted-then-resumed and uninterrupted runs re-read the same
     // rows and therefore export byte-identical CSV/JSON. The JSON document
     // streams straight to its file — journaled mode never holds anything
     // proportional to the campaign size in memory.
-    std::ofstream json_file;
-    if (!json.empty()) {
-      json_file.open(json, std::ios::binary);
-      if (!json_file) {
-        std::fprintf(stderr, "error: could not write %s\n", json.c_str());
-        return 1;
-      }
-    }
-    JsonlExportResult exported = export_campaign_from_jsonl(
-        jsonl, sweep.name, trials, json.empty() ? nullptr : &json_file);
-    if (!exported.ok()) {
-      std::fprintf(stderr, "error: %s\n", exported.error.c_str());
-      return 1;
-    }
-    cells = std::move(exported.cells);
-    if (!json.empty()) {
-      json_file.flush();
-      if (!json_file.good()) {
-        std::fprintf(stderr, "error: could not write %s\n", json.c_str());
-        return 1;
-      }
-      json_file.close();
-      json_written = true;
-      std::fprintf(stderr, "wrote %s\n", json.c_str());
-    }
-  } else {
-    // ------------------------------------------------- in-memory mode
-    const SweepRunner runner(runner_options(threads, nullptr));
-    std::vector<TrialResult> results;
-    try {
-      results = runner.run(trials);
-    } catch (const std::exception& e) {
-      std::fprintf(stderr, "error: campaign stopped: %s\n", e.what());
-      return 1;
-    }
-    cells = aggregate_sweep(results);
-    if (!json.empty())
-      json_document = sweep_to_json(sweep.name, results, cells);
+    return export_from_journal(journal, sweep, all_trials, csv, json);
   }
+
+  // ------------------------------------------------- in-memory mode
+  if (shard.sharded()) {
+    // Unreachable (sharded runs require a journal); kept as a guard for
+    // future flag plumbing.
+    std::fprintf(stderr, "error: sharded runs require --output\n");
+    return 2;
+  }
+  const SweepRunner runner(runner_options(threads, nullptr));
+  std::vector<TrialResult> results;
+  try {
+    results = runner.run(trials);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: campaign stopped: %s\n", e.what());
+    return 1;
+  }
+  cells = aggregate_sweep(results);
+  if (!json.empty())
+    json_document = sweep_to_json(sweep.name, results, cells);
 
   const Table cell_table = sweep_cells_table(cells);
   std::printf(
@@ -259,7 +444,7 @@ int main(int argc, char** argv) {
     }
     std::fprintf(stderr, "wrote %s\n", csv.c_str());
   }
-  if (!json.empty() && !json_written) {
+  if (!json.empty()) {
     if (!write_file(json, json_document)) {
       std::fprintf(stderr, "error: could not write %s\n", json.c_str());
       return 1;

@@ -145,10 +145,19 @@ JsonlExportResult export_campaign_from_jsonl(const std::string& jsonl_path,
     return result;
   }
   if (!scan.complete()) {
+    std::size_t first_missing = scan.trial_count;
+    for (std::size_t i = 0; i < scan.have.size(); ++i) {
+      if (!scan.have[i]) {
+        first_missing = i;
+        break;
+      }
+    }
     result.error = "journal '" + jsonl_path + "' is incomplete (" +
-                   std::to_string(scan.trial_count - scan.rows) + " of " +
-                   std::to_string(scan.trial_count) +
-                   " trials missing; resume the campaign first)";
+                   std::to_string(scan.expected_rows - scan.rows) + " of " +
+                   std::to_string(scan.expected_rows) +
+                   " trials missing, first missing trial " +
+                   std::to_string(first_missing) +
+                   "; resume the campaign first)";
     return result;
   }
 
@@ -171,9 +180,10 @@ JsonlExportResult export_campaign_from_jsonl(const std::string& jsonl_path,
     file.seekg(scan.row_offset[i]);
     if (!std::getline(file, line) || !trial_from_jsonl(line, row) ||
         row.index != i) {
-      result.error = "journal '" + jsonl_path +
-                     "' changed while exporting (row " + std::to_string(i) +
-                     ")";
+      result.error = "journal '" + jsonl_path + "' line " +
+                     std::to_string(scan.row_line[i]) +
+                     ": changed while exporting (row for trial " +
+                     std::to_string(i) + " no longer parses)";
       return result;
     }
     aggregator.add(row);

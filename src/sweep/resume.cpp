@@ -83,11 +83,17 @@ std::uint64_t sweep_grid_hash(std::span<const TrialSpec> trials) {
 
 CampaignScan scan_campaign_file(const std::string& path,
                                 const std::string& sweep_name,
-                                std::span<const TrialSpec> trials) {
+                                std::span<const TrialSpec> trials,
+                                ShardRef shard) {
   CampaignScan scan;
   scan.trial_count = trials.size();
   scan.have.assign(trials.size(), false);
   scan.row_offset.assign(trials.size(), -1);
+  scan.row_line.assign(trials.size(), 0);
+  scan.expected_rows = 0;
+  for (const TrialSpec& trial : trials)
+    if (shard_owner(trial.index, shard.count) == shard.index)
+      ++scan.expected_rows;
 
   std::ifstream file(path, std::ios::binary);
   if (!file) {
@@ -97,12 +103,14 @@ CampaignScan scan_campaign_file(const std::string& path,
 
   const std::uint64_t expected_hash = sweep_grid_hash(trials);
   std::uint64_t offset = 0;
+  std::uint64_t line_no = 0;
   std::string line;
   bool saw_header = false;
   while (std::getline(file, line)) {
     // getline sets eofbit only when the final line lacks its '\n'.
     const bool has_newline = !file.eof();
     const std::uint64_t line_end = offset + line.size() + (has_newline ? 1 : 0);
+    ++line_no;
 
     if (!saw_header) {
       CampaignHeader header;
@@ -123,21 +131,44 @@ CampaignScan scan_campaign_file(const std::string& path,
           scan.fresh = true;
           return scan;
         }
-        scan.error = "'" + path + "' is not a campaign journal";
+        scan.error = "'" + path + "' line 1: not a campaign journal";
         return scan;
       }
       if (header.sweep != sweep_name) {
-        scan.error = "journal '" + path + "' belongs to sweep '" +
+        scan.error = "journal '" + path + "' line 1: belongs to sweep '" +
                      header.sweep + "', not '" + sweep_name + "'";
         return scan;
       }
       if (header.trials != trials.size() ||
           header.grid_hash != expected_hash) {
         scan.error = "journal '" + path +
-                     "' was written for a different campaign grid "
+                     "' line 1: written for a different campaign grid "
                      "(sweep file changed since the journal started?)";
         return scan;
       }
+      if (header.shard != shard) {
+        if (!shard.sharded() && header.shard.sharded()) {
+          scan.error = "journal '" + path + "' line 1: is shard " +
+                       header.shard.str() +
+                       " of a sharded campaign; merge the full shard set "
+                       "with 'sweep_cli merge' instead of reading one slice";
+        } else if (shard.sharded() && !header.shard.sharded()) {
+          scan.error = "journal '" + path +
+                       "' line 1: is an unsharded campaign journal, but "
+                       "this run is shard " + shard.str() +
+                       "; give each shard its own --output";
+        } else {
+          scan.error = "journal '" + path + "' line 1: belongs to shard " +
+                       header.shard.str() + ", but this run is shard " +
+                       shard.str() +
+                       (header.shard.count != shard.count
+                            ? " (shard count changed since the journal "
+                              "started?)"
+                            : " (shard journals mixed up?)");
+        }
+        return scan;
+      }
+      scan.header = header;
       saw_header = true;
       if (!has_newline) scan.missing_final_newline = true;
       scan.valid_bytes = line_end;
@@ -149,9 +180,24 @@ CampaignScan scan_campaign_file(const std::string& path,
     const bool valid =
         trial_scalars_from_jsonl(line, row) && row_matches(row, trials);
     if (valid) {
+      if (shard_owner(row.index, shard.count) != shard.index) {
+        // A foreign shard's row is not corruption — it parses fine — and
+        // ignoring it would let a later merge double-count the trial.
+        // Hard error, pinned to the line.
+        scan.error = "journal '" + path + "' line " +
+                     std::to_string(line_no) + ": trial " +
+                     std::to_string(row.index) + " belongs to shard " +
+                     std::to_string(shard_owner(row.index, shard.count)) +
+                     "/" + std::to_string(shard.count) +
+                     ", not this journal's shard " + shard.str() +
+                     " (shard journals mixed up? merging would "
+                     "double-count it)";
+        return scan;
+      }
       if (!scan.have[row.index]) {
         scan.have[row.index] = true;
         scan.row_offset[row.index] = static_cast<std::int64_t>(offset);
+        scan.row_line[row.index] = line_no;
         ++scan.rows;
       } else {
         ++scan.duplicate_rows;
@@ -181,8 +227,9 @@ CampaignScan scan_campaign_file(const std::string& path,
 std::vector<TrialSpec> missing_trials(const CampaignScan& scan,
                                       std::span<const TrialSpec> trials) {
   std::vector<TrialSpec> todo;
-  for (std::size_t i = 0; i < trials.size(); ++i)
-    if (i >= scan.have.size() || !scan.have[i]) todo.push_back(trials[i]);
+  for (const TrialSpec& trial : trials)
+    if (trial.index >= scan.have.size() || !scan.have[trial.index])
+      todo.push_back(trial);
   return todo;
 }
 

@@ -22,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "sweep/shard.h"
 #include "sweep/sweep_spec.h"
 #include "sweep/trial_sink.h"
 
@@ -37,11 +38,22 @@ struct CampaignScan {
   std::string error;  ///< Non-empty: journal unusable for this sweep.
   bool fresh = false; ///< File absent — start a new journal.
 
-  std::size_t trial_count = 0;  ///< Size of the expanded grid.
+  /// The journal's parsed first line (valid whenever !fresh && ok()):
+  /// gives callers the shard identity for diagnostics.
+  CampaignHeader header;
+
+  std::size_t trial_count = 0;  ///< Size of the expanded (full) grid.
+  /// Rows this journal is expected to hold when complete: the scanned
+  /// shard's subset size (== trial_count for the unsharded {0, 1}).
+  std::size_t expected_rows = 0;
   std::size_t rows = 0;         ///< Distinct valid rows found.
   std::vector<bool> have;       ///< Per trial index: valid row present.
   /// Byte offset of each index's first valid row; -1 when missing.
   std::vector<std::int64_t> row_offset;
+  /// 1-based journal line of each index's first valid row; 0 when
+  /// missing. Line 1 is the header. Error messages cite these so a bad
+  /// row in a multi-file merge is findable with sed -n 'Np'.
+  std::vector<std::uint64_t> row_line;
 
   std::size_t corrupt_lines = 0;   ///< Interior lines that failed to parse.
   std::size_t duplicate_rows = 0;  ///< Extra valid rows for a present index.
@@ -52,18 +64,30 @@ struct CampaignScan {
 
   [[nodiscard]] bool ok() const { return error.empty(); }
   [[nodiscard]] bool complete() const {
-    return !fresh && rows == trial_count;
+    return !fresh && rows == expected_rows;
   }
 };
 
 /// Scans `path` against the expanded `trials` of the sweep named
 /// `sweep_name`. A missing file is not an error: the scan comes back
 /// `fresh` with every trial missing.
+///
+/// `shard` is the identity the caller expects the journal to carry: the
+/// default {0, 1} accepts only unsharded journals, a sharded ref only the
+/// matching shard's journal (so shard processes can never resume each
+/// other's files, and a merged artifact can never be re-merged as a
+/// slice). `trials` is always the FULL expanded grid either way — rows
+/// are validated against their full-grid index; a valid row owned by a
+/// DIFFERENT shard is a hard error (mixed-up journals double-count on
+/// merge), not a corrupt line.
 [[nodiscard]] CampaignScan scan_campaign_file(
     const std::string& path, const std::string& sweep_name,
-    std::span<const TrialSpec> trials);
+    std::span<const TrialSpec> trials, ShardRef shard = {});
 
 /// The trials a resumed run still has to execute, in index order.
+/// `trials` may be the full grid or a shard's subset (ShardPlan::trials);
+/// rows are looked up by each trial's own full-grid index, so a shard
+/// resumes against exactly its slice.
 [[nodiscard]] std::vector<TrialSpec> missing_trials(
     const CampaignScan& scan, std::span<const TrialSpec> trials);
 

@@ -1,0 +1,99 @@
+// Multi-process campaign fan-out: deterministic grid sharding and
+// journal merging.
+//
+// A campaign shards by splitting its expanded trial list into K disjoint
+// subsets, one per OS process (or machine sharing a filesystem). Each
+// shard journals to its own file — header stamped with the shard identity
+// plus the full-grid hash — runs and resumes independently via the
+// resume.h planner, and a final merge validates the shard set (same grid,
+// disjoint coverage, no gaps, no trial claimed by two shards) and writes
+// one unsharded journal whose derived CSV/JSON are byte-identical to a
+// single-process run of the whole campaign.
+//
+// Partitioning is by index stride (trial i belongs to shard i mod K), not
+// contiguous ranges: adjacent indices differ only in repetition or the
+// innermost grid axis, so each expensive scenario's trials spread evenly
+// across shards instead of one shard inheriting the slowest scenario
+// block wholesale. The assignment is a pure function of (index, K) —
+// every process derives the same plan from the sweep file alone, with no
+// coordination channel.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "sweep/sweep_spec.h"
+
+namespace adaptbf {
+
+/// Identity of one shard in a K-way campaign split. The default {0, 1} is
+/// the unsharded whole-campaign case; every PR 2 journal reads as 0/1.
+struct ShardRef {
+  std::uint32_t index = 0;  ///< In [0, count).
+  std::uint32_t count = 1;  ///< Total shards; 1 = unsharded.
+
+  [[nodiscard]] bool sharded() const { return count > 1; }
+  [[nodiscard]] bool operator==(const ShardRef&) const = default;
+  /// "3/8" (1-based position would lie about --shard-index; keep 0-based).
+  [[nodiscard]] std::string str() const;
+};
+
+/// Non-empty diagnostic when the pair is not a valid shard identity
+/// (count == 0, or index >= count).
+[[nodiscard]] std::string shard_ref_error(const ShardRef& shard);
+
+/// The shard that owns a trial index under a K-way stride split.
+[[nodiscard]] constexpr std::uint32_t shard_owner(std::size_t trial_index,
+                                                  std::uint32_t shard_count) {
+  return static_cast<std::uint32_t>(trial_index % shard_count);
+}
+
+/// One shard's slice of an expanded campaign.
+struct ShardPlan {
+  ShardRef shard;
+  /// The owned trials, ascending index (original full-grid indices).
+  std::vector<TrialSpec> trials;
+};
+
+/// Deterministic stride partition of the expanded grid. Requires a valid
+/// `shard` (see shard_ref_error) and `trials` dense-indexed from expand().
+/// The K plans for a fixed grid are disjoint and cover every trial.
+[[nodiscard]] ShardPlan plan_shard(std::span<const TrialSpec> trials,
+                                   ShardRef shard);
+
+/// Canonical per-shard journal path: "<base>.shard-I-of-K" for sharded
+/// runs, `base` unchanged for the unsharded {0, 1}. Every shard process
+/// passes the same --output base and lands on its own file.
+[[nodiscard]] std::string shard_journal_path(const std::string& base,
+                                             const ShardRef& shard);
+
+/// Outcome of merging K shard journals into one unsharded journal.
+struct ShardMergeResult {
+  std::string error;           ///< Empty on success.
+  std::uint32_t shard_count = 0;
+  std::size_t rows = 0;        ///< Trials written to the merged journal.
+  [[nodiscard]] bool ok() const { return error.empty(); }
+};
+
+/// Validates and merges a complete shard set into `merged_path`.
+///
+/// Every journal must carry the sweep's name, the expanded grid's hash,
+/// and a shard stamp; the set must agree on K, contain each shard index
+/// exactly once, hold only trials its shard owns (a trial surfacing in a
+/// foreign journal is a double-count in the making and is rejected, never
+/// silently dropped), and cover the grid with no gaps. Each failure mode
+/// gets a distinct, actionable error naming the offending file, shard,
+/// and line. `merged_path` must be a new file: naming an input shard
+/// journal (which opening for write would destroy) or any existing file
+/// is refused before a byte is written. On success the merged journal
+/// holds the unsharded header
+/// plus every row in trial-index order, each copied byte-for-byte from
+/// its shard journal — rows are deterministic, so artifacts derived from
+/// the merge are byte-identical to a single-process campaign's.
+[[nodiscard]] ShardMergeResult merge_shard_journals(
+    std::span<const std::string> shard_paths, const std::string& sweep_name,
+    std::span<const TrialSpec> trials, const std::string& merged_path);
+
+}  // namespace adaptbf

@@ -214,6 +214,12 @@ std::string campaign_header_line(const CampaignHeader& header) {
   out += hash;
   out += "\",\"trials\":";
   out += std::to_string(header.trials);
+  if (header.shard.sharded()) {
+    out += ",\"shard\":";
+    out += std::to_string(header.shard.index);
+    out += ",\"shard_count\":";
+    out += std::to_string(header.shard.count);
+  }
   out += '}';
   return out;
 }
@@ -230,6 +236,15 @@ bool parse_campaign_header(std::string_view line, CampaignHeader& out) {
   c.p = ptr;
   if (!lit(c, "\"") || !lit(c, ",\"trials\":") || !parse_u64(c, out.trials))
     return false;
+  if (lit(c, ",\"shard\":")) {
+    if (!parse_u32(c, out.shard.index) || !lit(c, ",\"shard_count\":") ||
+        !parse_u32(c, out.shard.count))
+      return false;
+    // A stamped shard must be a real slice: K >= 2 and index in range.
+    // (K == 1 writes the unsharded form above, never this one.)
+    if (out.shard.count < 2 || out.shard.index >= out.shard.count)
+      return false;
+  }
   if (!lit(c, "}")) return false;
   return c.done();
 }

@@ -24,6 +24,7 @@
 #include <string>
 #include <string_view>
 
+#include "sweep/shard.h"
 #include "sweep/sweep_runner.h"
 
 namespace adaptbf {
@@ -41,11 +42,16 @@ class TrialSink {
 
 /// First line of a campaign journal. The grid hash (resume.h) fingerprints
 /// the expanded trial list so a journal is never resumed against a
-/// different campaign.
+/// different campaign. `trials` is always the FULL grid size — a shard
+/// journal declares the whole campaign it is a slice of, plus its slice.
 struct CampaignHeader {
   std::string sweep;
   std::uint64_t grid_hash = 0;
   std::uint64_t trials = 0;
+  /// Which slice this journal holds. The unsharded {0, 1} serializes to
+  /// the exact PR 2 header bytes, so pre-shard journals parse unchanged
+  /// and merged journals are indistinguishable from single-process ones.
+  ShardRef shard;
 };
 
 /// Header line serialization (no trailing newline).

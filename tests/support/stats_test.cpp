@@ -2,7 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
 #include <vector>
+
+#include "support/random.h"
 
 namespace adaptbf {
 namespace {
@@ -54,6 +58,61 @@ TEST(StreamingStats, MergeMatchesSequential) {
   EXPECT_NEAR(left.variance(), all.variance(), 1e-9);
   EXPECT_DOUBLE_EQ(left.min(), all.min());
   EXPECT_DOUBLE_EQ(left.max(), all.max());
+}
+
+// Shard merging leans on merge() being a proper monoid operation over
+// accumulators (within floating-point tolerance): any K-way partition of a
+// campaign, merged in any grouping and order, must agree with the single
+// pass. Randomized sequences, fixed seeds.
+TEST(StreamingStatsMergeProperty, AssociativeAndCommutativeWithinTolerance) {
+  Xoshiro256 rng(0x5eed5eed5eed5eedULL);
+  for (int round = 0; round < 20; ++round) {
+    StreamingStats a, b, c, sequential;
+    const auto fill = [&](StreamingStats& stats, std::size_t n) {
+      for (std::size_t i = 0; i < n; ++i) {
+        // Mix magnitudes so Welford actually has something to get wrong.
+        const double x = (rng.next_double() - 0.5) * 1e6 + rng.next_double();
+        stats.add(x);
+        sequential.add(x);
+      }
+    };
+    fill(a, 1 + rng.next() % 40);
+    fill(b, 1 + rng.next() % 40);
+    fill(c, 1 + rng.next() % 40);
+
+    // (a + b) + c
+    StreamingStats left_assoc = a;
+    left_assoc.merge(b);
+    left_assoc.merge(c);
+    // a + (b + c)
+    StreamingStats right_assoc = b;
+    right_assoc.merge(c);
+    StreamingStats right_outer = a;
+    right_outer.merge(right_assoc);
+    // c + a  vs  a + c (commutativity spot check)
+    StreamingStats ca = c, ac = a;
+    ca.merge(a);
+    ac.merge(c);
+
+    const double scale = std::max(1.0, std::abs(sequential.mean()));
+    for (const StreamingStats* merged :
+         {&left_assoc, &right_outer}) {
+      EXPECT_EQ(merged->count(), sequential.count());
+      EXPECT_NEAR(merged->mean(), sequential.mean(), 1e-9 * scale);
+      EXPECT_NEAR(merged->variance(), sequential.variance(),
+                  1e-6 * std::max(1.0, sequential.variance()));
+      EXPECT_DOUBLE_EQ(merged->min(), sequential.min());
+      EXPECT_DOUBLE_EQ(merged->max(), sequential.max());
+      EXPECT_NEAR(merged->sum(), sequential.sum(), 1e-9 * scale *
+                  static_cast<double>(sequential.count()));
+    }
+    EXPECT_EQ(ca.count(), ac.count());
+    EXPECT_NEAR(ca.mean(), ac.mean(), 1e-9 * scale);
+    EXPECT_NEAR(ca.variance(), ac.variance(),
+                1e-6 * std::max(1.0, ac.variance()));
+    EXPECT_DOUBLE_EQ(ca.min(), ac.min());
+    EXPECT_DOUBLE_EQ(ca.max(), ac.max());
+  }
 }
 
 TEST(StreamingStats, MergeWithEmptyIsNoop) {

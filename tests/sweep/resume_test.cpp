@@ -68,7 +68,8 @@ void run_journaled(const SweepSpec& sweep,
                    const std::vector<TrialSpec>& trials,
                    const std::string& path, std::uint32_t threads) {
   std::remove(path.c_str());
-  CampaignHeader header{sweep.name, sweep_grid_hash(trials), trials.size()};
+  CampaignHeader header{sweep.name, sweep_grid_hash(trials), trials.size(),
+                        ShardRef{}};
   auto opened = JsonlTrialSink::open_fresh(path, header, test_sink_options());
   ASSERT_TRUE(opened.ok()) << opened.error;
   SweepRunner::Options options;
@@ -171,7 +172,8 @@ TEST(CampaignScan, TornHeaderStartsFreshButForeignFilesStillError) {
   // A crash during the very first writeout leaves a header prefix with no
   // newline; every such prefix must scan as a fresh start, never as a
   // permanently unresumable journal.
-  CampaignHeader header{sweep.name, sweep_grid_hash(trials), trials.size()};
+  CampaignHeader header{sweep.name, sweep_grid_hash(trials), trials.size(),
+                        ShardRef{}};
   const std::string full = campaign_header_line(header);
   for (const std::size_t cut : {std::size_t{1}, std::size_t{10},
                                 full.size() / 2, full.size() - 1}) {

@@ -1,0 +1,510 @@
+// Sharded campaign fan-out, proven equivalent by construction AND by
+// bytes: K shards run through the real journal/merge path must produce
+// CSV/JSON artifacts byte-identical to the single-process run, survive a
+// killed-and-resumed shard, and every merge misuse (wrong grid,
+// overlapping shards, missing shard, a trial duplicated across shards)
+// must fail with a distinct, actionable error — never a silent
+// double-count.
+#include "sweep/shard.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "metrics/sweep_export.h"
+#include "sweep/resume.h"
+#include "sweep/sweep_runner.h"
+#include "sweep/trial_sink.h"
+
+namespace adaptbf {
+namespace {
+
+SweepSpec small_sweep() {
+  ScenarioSpec scenario;
+  scenario.name = "small";
+  for (std::uint32_t j = 1; j <= 2; ++j) {
+    JobSpec job;
+    job.id = JobId(j);
+    job.name = "J" + std::to_string(j);
+    job.nodes = j;
+    job.processes.push_back(continuous_pattern(32));
+    job.processes.push_back(poisson_pattern(32, 200.0, /*seed=*/j));
+    scenario.jobs.push_back(std::move(job));
+  }
+  scenario.duration = SimDuration::seconds(5);
+  scenario.stop_when_idle = true;
+
+  SweepSpec sweep;
+  sweep.name = "small";
+  sweep.scenarios.push_back({"small", std::move(scenario)});
+  sweep.policies = {BwControl::kNone, BwControl::kAdaptive};
+  sweep.repetitions = 3;
+  sweep.base_seed = 11;
+  sweep.start_jitter = SimDuration::millis(50);
+  return sweep;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  return buffer.str();
+}
+
+void write_file(const std::string& path, const std::string& contents) {
+  std::ofstream file(path, std::ios::binary);
+  file << contents;
+}
+
+JsonlSinkOptions test_sink_options() {
+  JsonlSinkOptions options;
+  options.fsync = false;  // Unit tests exercise logic, not disk durability.
+  return options;
+}
+
+/// Runs one shard's slice of the campaign into a fresh shard journal,
+/// exactly as one `sweep_cli --shard-index I --shard-count K` process
+/// would. Returns the shard journal path.
+std::string run_shard(const SweepSpec& sweep,
+                      const std::vector<TrialSpec>& all_trials,
+                      const std::string& base, ShardRef shard,
+                      std::uint32_t threads) {
+  const std::string path = shard_journal_path(base, shard);
+  std::remove(path.c_str());
+  CampaignHeader header{sweep.name, sweep_grid_hash(all_trials),
+                        all_trials.size(), shard};
+  auto opened = JsonlTrialSink::open_fresh(path, header, test_sink_options());
+  EXPECT_TRUE(opened.ok()) << opened.error;
+  SweepRunner::Options options;
+  options.threads = threads;
+  options.sink = opened.sink.get();
+  (void)SweepRunner(options).run(plan_shard(all_trials, shard).trials);
+  return path;
+}
+
+/// Runs every shard of a K-way split; returns the K journal paths.
+std::vector<std::string> run_all_shards(
+    const SweepSpec& sweep, const std::vector<TrialSpec>& all_trials,
+    const std::string& base, std::uint32_t shard_count) {
+  std::vector<std::string> paths;
+  for (std::uint32_t i = 0; i < shard_count; ++i)
+    paths.push_back(
+        run_shard(sweep, all_trials, base, ShardRef{i, shard_count},
+                  /*threads=*/1 + i % 3));
+  return paths;
+}
+
+/// CSV + JSON artifacts derived from a complete unsharded journal.
+struct Artifacts {
+  std::string csv;
+  std::string json;
+};
+
+Artifacts export_artifacts(const std::string& path, const SweepSpec& sweep,
+                           const std::vector<TrialSpec>& trials) {
+  std::ostringstream json;
+  const JsonlExportResult exported =
+      export_campaign_from_jsonl(path, sweep.name, trials, &json);
+  EXPECT_TRUE(exported.ok()) << exported.error;
+  return {sweep_cells_table(exported.cells).to_csv(), json.str()};
+}
+
+/// The single-process golden artifacts: full campaign into one journal.
+Artifacts golden_artifacts(const SweepSpec& sweep,
+                           const std::vector<TrialSpec>& trials,
+                           const std::string& path) {
+  std::remove(path.c_str());
+  CampaignHeader header{sweep.name, sweep_grid_hash(trials), trials.size(),
+                        ShardRef{}};
+  auto opened = JsonlTrialSink::open_fresh(path, header, test_sink_options());
+  EXPECT_TRUE(opened.ok()) << opened.error;
+  SweepRunner::Options options;
+  options.threads = 1;
+  options.sink = opened.sink.get();
+  (void)SweepRunner(options).run(trials);
+  opened.sink.reset();
+  return export_artifacts(path, sweep, trials);
+}
+
+void remove_all(const std::vector<std::string>& paths) {
+  for (const auto& path : paths) std::remove(path.c_str());
+}
+
+// ------------------------------------------------------------- plan shape
+
+TEST(ShardRefChecks, ValidatesIndexAgainstCount) {
+  EXPECT_TRUE(shard_ref_error(ShardRef{}).empty());
+  EXPECT_TRUE(shard_ref_error(ShardRef{0, 1}).empty());
+  EXPECT_TRUE(shard_ref_error(ShardRef{3, 4}).empty());
+  EXPECT_FALSE(shard_ref_error(ShardRef{0, 0}).empty());
+  EXPECT_FALSE(shard_ref_error(ShardRef{4, 4}).empty());
+  EXPECT_FALSE(shard_ref_error(ShardRef{7, 3}).empty());
+}
+
+TEST(ShardPlan, StridePartitionIsDisjointCompleteAndBalanced) {
+  const SweepSpec sweep = small_sweep();
+  const auto trials = sweep.expand();
+  for (std::uint32_t count = 1; count <= 5; ++count) {
+    std::set<std::size_t> seen;
+    std::size_t smallest = trials.size(), largest = 0;
+    for (std::uint32_t index = 0; index < count; ++index) {
+      const ShardPlan plan = plan_shard(trials, ShardRef{index, count});
+      EXPECT_EQ(plan.shard, (ShardRef{index, count}));
+      smallest = std::min(smallest, plan.trials.size());
+      largest = std::max(largest, plan.trials.size());
+      for (const TrialSpec& trial : plan.trials) {
+        EXPECT_EQ(shard_owner(trial.index, count), index);
+        // Disjoint: no trial appears in two shards.
+        EXPECT_TRUE(seen.insert(trial.index).second)
+            << "trial " << trial.index << " in two shards at K=" << count;
+      }
+    }
+    // Complete: the K slices cover the whole grid...
+    EXPECT_EQ(seen.size(), trials.size()) << "K=" << count;
+    // ...and the stride keeps them balanced within one trial.
+    EXPECT_LE(largest - smallest, 1u) << "K=" << count;
+  }
+}
+
+TEST(ShardPlan, JournalPathNamesTheSlice) {
+  EXPECT_EQ(shard_journal_path("c.jsonl", ShardRef{}), "c.jsonl");
+  EXPECT_EQ(shard_journal_path("c.jsonl", ShardRef{2, 5}),
+            "c.jsonl.shard-2-of-5");
+}
+
+// ------------------------------------------------------ header round trip
+
+TEST(ShardHeader, RoundTripsAndKeepsUnshardedBytesStable) {
+  CampaignHeader header{"camp", 0xdeadbeefcafef00dull, 12, ShardRef{2, 3}};
+  CampaignHeader parsed;
+  ASSERT_TRUE(parse_campaign_header(campaign_header_line(header), parsed));
+  EXPECT_EQ(parsed.sweep, "camp");
+  EXPECT_EQ(parsed.grid_hash, header.grid_hash);
+  EXPECT_EQ(parsed.trials, 12u);
+  EXPECT_EQ(parsed.shard, (ShardRef{2, 3}));
+
+  // The unsharded header must keep the exact PR 2 wire format: no shard
+  // keys at all, so pre-shard journals and merged journals are the same
+  // dialect.
+  header.shard = ShardRef{};
+  const std::string line = campaign_header_line(header);
+  EXPECT_EQ(line.find("shard"), std::string::npos) << line;
+  ASSERT_TRUE(parse_campaign_header(line, parsed));
+  EXPECT_EQ(parsed.shard, ShardRef{});
+
+  // A stamped shard must be a real slice; index >= count never parses.
+  EXPECT_FALSE(parse_campaign_header(
+      "{\"adaptbf_sweep\":1,\"name\":\"x\",\"grid_hash\":"
+      "\"0000000000000001\",\"trials\":4,\"shard\":3,\"shard_count\":3}",
+      parsed));
+  EXPECT_FALSE(parse_campaign_header(
+      "{\"adaptbf_sweep\":1,\"name\":\"x\",\"grid_hash\":"
+      "\"0000000000000001\",\"trials\":4,\"shard\":0,\"shard_count\":1}",
+      parsed));
+}
+
+// --------------------------------------------------------- shard-aware scan
+
+TEST(ShardScan, RejectsWrongShardIdentityWithDistinctErrors) {
+  const SweepSpec sweep = small_sweep();
+  const auto trials = sweep.expand();
+  const std::string base = testing::TempDir() + "scan_shard.jsonl";
+  const std::string path =
+      run_shard(sweep, trials, base, ShardRef{1, 3}, /*threads=*/1);
+
+  // The right shard scans clean and is complete.
+  CampaignScan scan = scan_campaign_file(path, sweep.name, trials,
+                                         ShardRef{1, 3});
+  ASSERT_TRUE(scan.ok()) << scan.error;
+  EXPECT_TRUE(scan.complete());
+  EXPECT_EQ(scan.header.shard, (ShardRef{1, 3}));
+  EXPECT_EQ(scan.expected_rows, plan_shard(trials, ShardRef{1, 3}).trials.size());
+  EXPECT_TRUE(missing_trials(scan, plan_shard(trials, ShardRef{1, 3}).trials)
+                  .empty());
+
+  // A different shard index: "mixed up", not "count changed".
+  scan = scan_campaign_file(path, sweep.name, trials, ShardRef{0, 3});
+  EXPECT_FALSE(scan.ok());
+  EXPECT_NE(scan.error.find("belongs to shard 1/3"), std::string::npos)
+      << scan.error;
+  EXPECT_NE(scan.error.find("mixed up"), std::string::npos) << scan.error;
+
+  // A different shard count is its own story.
+  scan = scan_campaign_file(path, sweep.name, trials, ShardRef{1, 4});
+  EXPECT_FALSE(scan.ok());
+  EXPECT_NE(scan.error.find("shard count changed"), std::string::npos)
+      << scan.error;
+
+  // An unsharded reader must not consume a slice...
+  scan = scan_campaign_file(path, sweep.name, trials);
+  EXPECT_FALSE(scan.ok());
+  EXPECT_NE(scan.error.find("merge"), std::string::npos) << scan.error;
+
+  // ...and export (which scans unsharded) refuses it the same way.
+  const JsonlExportResult exported =
+      export_campaign_from_jsonl(path, sweep.name, trials, nullptr);
+  EXPECT_FALSE(exported.ok());
+  EXPECT_NE(exported.error.find("merge"), std::string::npos)
+      << exported.error;
+  std::remove(path.c_str());
+}
+
+TEST(ShardScan, ForeignRowIsAHardErrorWithItsLineNumber) {
+  const SweepSpec sweep = small_sweep();
+  const auto trials = sweep.expand();
+  const std::string base = testing::TempDir() + "scan_foreign.jsonl";
+  const std::string path0 =
+      run_shard(sweep, trials, base, ShardRef{0, 2}, /*threads=*/1);
+  const std::string path1 =
+      run_shard(sweep, trials, base, ShardRef{1, 2}, /*threads=*/1);
+
+  // Splice a shard-1 row into shard 0's journal: parses fine, owned by
+  // the other shard — exactly the row a merge would double-count.
+  std::string journal0 = read_file(path0);
+  const std::string journal1 = read_file(path1);
+  const std::size_t row_start = journal1.find('\n') + 1;
+  const std::size_t row_end = journal1.find('\n', row_start) + 1;
+  journal0 += journal1.substr(row_start, row_end - row_start);
+  write_file(path0, journal0);
+
+  const CampaignScan scan =
+      scan_campaign_file(path0, sweep.name, trials, ShardRef{0, 2});
+  EXPECT_FALSE(scan.ok());
+  EXPECT_NE(scan.error.find("double-count"), std::string::npos) << scan.error;
+  // The spliced row landed on line 5 (header + shard 0's three rows).
+  EXPECT_NE(scan.error.find("line 5"), std::string::npos) << scan.error;
+  std::remove(path0.c_str());
+  std::remove(path1.c_str());
+}
+
+// --------------------------------------- equivalence: shards == one process
+
+TEST(ShardEquivalence, MergedShardsMatchSingleProcessByteForByte) {
+  const SweepSpec sweep = small_sweep();
+  const auto trials = sweep.expand();
+  const std::string golden_path = testing::TempDir() + "eq_golden.jsonl";
+  const Artifacts golden = golden_artifacts(sweep, trials, golden_path);
+
+  for (std::uint32_t count = 2; count <= 4; ++count) {
+    const std::string base =
+        testing::TempDir() + "eq_k" + std::to_string(count) + ".jsonl";
+    const std::vector<std::string> shards =
+        run_all_shards(sweep, trials, base, count);
+    const std::string merged = base + ".merged";
+    const ShardMergeResult result =
+        merge_shard_journals(shards, sweep.name, trials, merged);
+    ASSERT_TRUE(result.ok()) << result.error;
+    EXPECT_EQ(result.rows, trials.size());
+    EXPECT_EQ(result.shard_count, count);
+
+    // The merged journal is a first-class unsharded journal...
+    const CampaignScan scan =
+        scan_campaign_file(merged, sweep.name, trials);
+    ASSERT_TRUE(scan.ok()) << scan.error;
+    EXPECT_TRUE(scan.complete());
+    EXPECT_EQ(scan.header.shard, ShardRef{});
+
+    // ...whose artifacts are byte-identical to the single-process run's.
+    const Artifacts sharded = export_artifacts(merged, sweep, trials);
+    EXPECT_EQ(golden.csv, sharded.csv) << "K=" << count;
+    EXPECT_EQ(golden.json, sharded.json) << "K=" << count;
+    remove_all(shards);
+    std::remove(merged.c_str());
+  }
+  std::remove(golden_path.c_str());
+}
+
+TEST(ShardEquivalence, KilledShardResumesThenMergesByteIdentical) {
+  const SweepSpec sweep = small_sweep();
+  const auto trials = sweep.expand();
+  const std::string golden_path = testing::TempDir() + "kill_golden.jsonl";
+  const Artifacts golden = golden_artifacts(sweep, trials, golden_path);
+
+  const std::string base = testing::TempDir() + "kill_k3.jsonl";
+  const std::vector<std::string> shards = run_all_shards(sweep, trials, base, 3);
+
+  // "Kill" shard 1 mid-write: chop its journal mid-line, PR 2 style.
+  const std::string victim = shards[1];
+  const std::string full = read_file(victim);
+  write_file(victim, full.substr(0, full.size() * 2 / 3 + 3));
+
+  // Merging with a wounded shard must refuse and name the fix.
+  const std::string merged = base + ".merged";
+  ShardMergeResult result =
+      merge_shard_journals(shards, sweep.name, trials, merged);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.error.find("incomplete"), std::string::npos)
+      << result.error;
+  EXPECT_NE(result.error.find("--shard-index 1"), std::string::npos)
+      << result.error;
+
+  // Resume only the victim, against only its own slice.
+  const ShardRef shard{1, 3};
+  const std::vector<TrialSpec> slice = plan_shard(trials, shard).trials;
+  const CampaignScan scan =
+      scan_campaign_file(victim, sweep.name, trials, shard);
+  ASSERT_TRUE(scan.ok()) << scan.error;
+  EXPECT_TRUE(scan.truncated_tail);
+  const std::vector<TrialSpec> todo = missing_trials(scan, slice);
+  ASSERT_FALSE(todo.empty());
+  for (const TrialSpec& trial : todo)
+    EXPECT_EQ(shard_owner(trial.index, 3), 1u);
+  auto opened = JsonlTrialSink::open_append(
+      victim, scan.valid_bytes, scan.missing_final_newline,
+      test_sink_options());
+  ASSERT_TRUE(opened.ok()) << opened.error;
+  SweepRunner::Options options;
+  options.threads = 2;
+  options.sink = opened.sink.get();
+  (void)SweepRunner(options).run(todo);
+  opened.sink.reset();
+
+  result = merge_shard_journals(shards, sweep.name, trials, merged);
+  ASSERT_TRUE(result.ok()) << result.error;
+  const Artifacts resumed = export_artifacts(merged, sweep, trials);
+  EXPECT_EQ(golden.csv, resumed.csv);
+  EXPECT_EQ(golden.json, resumed.json);
+  remove_all(shards);
+  std::remove(merged.c_str());
+  std::remove(golden_path.c_str());
+}
+
+// ------------------------------------------------- merge misuse, each named
+
+class ShardMergeNegative : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    sweep_ = small_sweep();
+    trials_ = sweep_.expand();
+    base_ = testing::TempDir() + "neg.jsonl";
+    shards_ = run_all_shards(sweep_, trials_, base_, 3);
+    merged_ = base_ + ".merged";
+  }
+  void TearDown() override {
+    remove_all(shards_);
+    std::remove(merged_.c_str());
+  }
+
+  SweepSpec sweep_;
+  std::vector<TrialSpec> trials_;
+  std::string base_;
+  std::vector<std::string> shards_;
+  std::string merged_;
+};
+
+TEST_F(ShardMergeNegative, MismatchedGridHash) {
+  SweepSpec reseeded = small_sweep();
+  reseeded.base_seed = 12;
+  const ShardMergeResult result = merge_shard_journals(
+      shards_, sweep_.name, reseeded.expand(), merged_);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.error.find("different campaign grid"), std::string::npos)
+      << result.error;
+  EXPECT_NE(result.error.find("line 1"), std::string::npos) << result.error;
+}
+
+TEST_F(ShardMergeNegative, OverlappingShards) {
+  // The same slice twice (plus the others): both files claim shard 0/3.
+  std::vector<std::string> paths = shards_;
+  paths.push_back(shards_[0]);
+  const ShardMergeResult result =
+      merge_shard_journals(paths, sweep_.name, trials_, merged_);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.error.find("overlapping shards"), std::string::npos)
+      << result.error;
+  EXPECT_NE(result.error.find("both claim shard 0/3"), std::string::npos)
+      << result.error;
+}
+
+TEST_F(ShardMergeNegative, MissingShard) {
+  const std::vector<std::string> partial{shards_[0], shards_[2]};
+  const ShardMergeResult result =
+      merge_shard_journals(partial, sweep_.name, trials_, merged_);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.error.find("missing shard 1/3"), std::string::npos)
+      << result.error;
+}
+
+TEST_F(ShardMergeNegative, DuplicatedTrialAcrossShards) {
+  // Copy one of shard 0's rows into shard 1's journal: without the
+  // ownership check the trial would be counted twice after merge.
+  const std::string journal0 = read_file(shards_[0]);
+  const std::size_t row_start = journal0.find('\n') + 1;
+  const std::size_t row_end = journal0.find('\n', row_start) + 1;
+  write_file(shards_[1], read_file(shards_[1]) +
+                             journal0.substr(row_start, row_end - row_start));
+  const ShardMergeResult result =
+      merge_shard_journals(shards_, sweep_.name, trials_, merged_);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.error.find("double-count"), std::string::npos)
+      << result.error;
+  EXPECT_NE(result.error.find("line "), std::string::npos) << result.error;
+}
+
+TEST_F(ShardMergeNegative, DisagreeingShardCounts) {
+  const std::string alien =
+      run_shard(sweep_, trials_, base_ + ".alien", ShardRef{1, 4},
+                /*threads=*/1);
+  const std::vector<std::string> paths{shards_[0], alien};
+  const ShardMergeResult result =
+      merge_shard_journals(paths, sweep_.name, trials_, merged_);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.error.find("disagree on the shard count"),
+            std::string::npos)
+      << result.error;
+  std::remove(alien.c_str());
+}
+
+TEST_F(ShardMergeNegative, UnshardedJournalIsNotAShard) {
+  const std::string golden_path = testing::TempDir() + "neg_unsharded.jsonl";
+  (void)golden_artifacts(sweep_, trials_, golden_path);
+  const std::vector<std::string> paths{golden_path};
+  const ShardMergeResult result =
+      merge_shard_journals(paths, sweep_.name, trials_, merged_);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.error.find("unsharded"), std::string::npos)
+      << result.error;
+  std::remove(golden_path.c_str());
+}
+
+TEST_F(ShardMergeNegative, OutputAliasingAnInputShardIsRefused) {
+  // Writing the merge over one of its own inputs would truncate that
+  // shard's rows before they are read; a complete shard set must still
+  // refuse, before any byte is written.
+  const std::string before = read_file(shards_[0]);
+  const ShardMergeResult result =
+      merge_shard_journals(shards_, sweep_.name, trials_, shards_[0]);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.error.find("destroy"), std::string::npos) << result.error;
+  EXPECT_EQ(read_file(shards_[0]), before) << "input shard was clobbered";
+}
+
+TEST_F(ShardMergeNegative, ExistingOutputFileIsNotClobbered) {
+  write_file(merged_, "precious bytes\n");
+  const ShardMergeResult result =
+      merge_shard_journals(shards_, sweep_.name, trials_, merged_);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.error.find("already exists"), std::string::npos)
+      << result.error;
+  EXPECT_EQ(read_file(merged_), "precious bytes\n");
+}
+
+TEST_F(ShardMergeNegative, EmptyShardListAndUnreadableFile) {
+  ShardMergeResult result =
+      merge_shard_journals({}, sweep_.name, trials_, merged_);
+  EXPECT_FALSE(result.ok());
+
+  const std::vector<std::string> paths{base_ + ".does-not-exist"};
+  result = merge_shard_journals(paths, sweep_.name, trials_, merged_);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.error.find("cannot open"), std::string::npos)
+      << result.error;
+}
+
+}  // namespace
+}  // namespace adaptbf

@@ -2,8 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <vector>
+
+#include "support/random.h"
 
 namespace adaptbf {
 namespace {
@@ -142,6 +145,74 @@ TEST(AggregateSweep, DistinctTokenRatesAreDistinctCells) {
   trials.push_back(a);
   trials.push_back(b);
   EXPECT_EQ(aggregate_sweep(trials).size(), 2u);
+}
+
+// The shard merge path's core claim: splitting a campaign's trials into
+// ANY random disjoint partition, aggregating each part independently, and
+// merging the parts equals the single-pass aggregation — same cells, same
+// order, same counts, and statistics within floating-point tolerance.
+// Randomized partitions over a 240-trial synthetic campaign, fixed seeds.
+TEST(StreamingCellAggregatorProperty, RandomShardPartitionsEqualSinglePass) {
+  // 8 cells (2 scenarios x 2 policies x 2 token rates), 30 reps each.
+  std::vector<TrialResult> trials;
+  Xoshiro256 values(0xfeedfacefeedfaceULL);
+  std::size_t index = 0;
+  for (std::uint32_t rep = 0; rep < 30; ++rep) {
+    for (const char* scenario : {"s1", "s2"}) {
+      for (const BwControl policy :
+           {BwControl::kStatic, BwControl::kAdaptive}) {
+        for (const double rate : {-1.0, 1500.0}) {
+          TrialResult t = make_trial(index++, scenario, policy, rep,
+                                     50.0 + values.next_double() * 900.0,
+                                     values.next_double(),
+                                     1.0 + values.next_double() * 40.0,
+                                     1000 + values.next() % 100000);
+          t.max_token_rate = rate;
+          t.horizon_s = 5.0 + values.next_double();
+          trials.push_back(std::move(t));
+        }
+      }
+    }
+  }
+  ASSERT_GE(trials.size(), 200u);
+  const std::vector<CellStats> single_pass = aggregate_sweep(trials);
+
+  Xoshiro256 partitioner(0x0a0b0c0d0e0f1011ULL);
+  for (int round = 0; round < 10; ++round) {
+    const std::uint32_t parts = 2 + static_cast<std::uint32_t>(
+                                        partitioner.next() % 6);
+    std::vector<StreamingCellAggregator> shards(parts);
+    for (const TrialResult& trial : trials)
+      shards[partitioner.next() % parts].add(trial);
+
+    StreamingCellAggregator merged;
+    for (const StreamingCellAggregator& shard : shards) merged.merge(shard);
+    EXPECT_EQ(merged.trials_added(), trials.size());
+
+    const std::vector<CellStats> cells = merged.cells();
+    ASSERT_EQ(cells.size(), single_pass.size()) << "round " << round;
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      EXPECT_EQ(cells[i].cell_id(), single_pass[i].cell_id());
+      EXPECT_EQ(cells[i].trials, single_pass[i].trials);
+      EXPECT_EQ(cells[i].total_bytes, single_pass[i].total_bytes);
+      const auto near = [&](const SampleSummary& got,
+                            const SampleSummary& want) {
+        EXPECT_EQ(got.n, want.n);
+        EXPECT_NEAR(got.mean, want.mean, 1e-9 * std::max(1.0, want.mean));
+        EXPECT_NEAR(got.stddev, want.stddev,
+                    1e-7 * std::max(1.0, want.stddev));
+        EXPECT_NEAR(got.ci95_half, want.ci95_half,
+                    1e-7 * std::max(1.0, want.ci95_half));
+        EXPECT_DOUBLE_EQ(got.min, want.min);
+        EXPECT_DOUBLE_EQ(got.max, want.max);
+      };
+      near(cells[i].aggregate_mibps, single_pass[i].aggregate_mibps);
+      near(cells[i].fairness, single_pass[i].fairness);
+      near(cells[i].p99_ms, single_pass[i].p99_ms);
+      EXPECT_NEAR(cells[i].mean_horizon_s, single_pass[i].mean_horizon_s,
+                  1e-9);
+    }
+  }
 }
 
 }  // namespace

@@ -154,7 +154,7 @@ TEST(CampaignHeaderLine, RoundTripsAndRejectsGarbage) {
 TEST(JsonlTrialSink, WritesHeaderThenDurableRows) {
   const std::string path = testing::TempDir() + "sink_basic.jsonl";
   std::remove(path.c_str());
-  CampaignHeader header{"unit", 42, 3};
+  CampaignHeader header{"unit", 42, 3, ShardRef{}};
   JsonlSinkOptions options;
   options.flush_every = 2;
   options.fsync = false;  // tmpfs; keep the test fast.
@@ -188,7 +188,7 @@ TEST(JsonlTrialSink, WritesHeaderThenDurableRows) {
 TEST(JsonlTrialSink, OpenAppendTruncatesPartialTail) {
   const std::string path = testing::TempDir() + "sink_truncate.jsonl";
   std::remove(path.c_str());
-  CampaignHeader header{"unit", 42, 2};
+  CampaignHeader header{"unit", 42, 2, ShardRef{}};
   JsonlSinkOptions options;
   options.fsync = false;
   {
