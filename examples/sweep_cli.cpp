@@ -25,11 +25,19 @@
 //   $ ./sweep_cli merge --output merged.jsonl --csv c.csv --json c.json
 //       c.ini c.jsonl.shard-*-of-3        (one line)
 //
+//   # Network-distributed fan-out: no shared filesystem needed. The
+//   # coordinator leases trial batches to TCP workers and journals every
+//   # returned row itself; artifacts are byte-identical to a local run.
+//   $ ./sweep_cli serve --listen 7001 --output c.jsonl c.ini
+//   $ ./sweep_cli work --connect host:7001 --threads 8 c.ini   # per machine
+//
 // Trials are independent simulations, so wall time scales down with
 // --threads while results stay bit-identical: the CSV/JSON written with
 // --threads 1 and --threads 8 match byte for byte. With --output, per-trial
 // payloads are released as soon as they are journaled, so campaign memory
 // stays bounded no matter how many trials have completed.
+//
+// Full reference, every flag and exit code: docs/sweep_cli.md.
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
@@ -41,6 +49,7 @@
 
 #include "metrics/sweep_export.h"
 #include "support/table.h"
+#include "sweep/dispatch.h"
 #include "sweep/resume.h"
 #include "sweep/shard.h"
 #include "sweep/sweep_aggregator.h"
@@ -87,12 +96,6 @@ bool parse_u32_arg(const char* text, std::uint32_t& out) {
   return true;
 }
 
-int bad_number(const char* flag, const char* value) {
-  std::fprintf(stderr, "error: %s needs a non-negative integer, got '%s'\n",
-               flag, value);
-  return 2;
-}
-
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--threads N] [--csv PATH] [--json PATH]\n"
@@ -101,9 +104,72 @@ int usage(const char* argv0) {
                "<sweep.ini>\n"
                "       %s merge --output MERGED.jsonl [--csv PATH] "
                "[--json PATH]\n"
-               "          <sweep.ini> <shard.jsonl>...\n",
-               argv0, argv0);
+               "          <sweep.ini> <shard.jsonl>...\n"
+               "       %s serve --listen PORT --output JOURNAL.jsonl "
+               "[--resume]\n"
+               "          [--lease N] [--lease-timeout SEC] [--csv PATH] "
+               "[--json PATH] <sweep.ini>\n"
+               "       %s work --connect HOST:PORT [--threads N]\n"
+               "          [--output JOURNAL.jsonl] <sweep.ini>\n"
+               "       %s --version\n"
+               "exit codes: 0 success, 1 runtime/campaign error, 2 usage "
+               "error (docs/sweep_cli.md)\n",
+               argv0, argv0, argv0, argv0, argv0);
   return 2;
+}
+
+/// Usage errors name the problem AND reprint the synopsis — a bare error
+/// string leaves the user grepping docs for the flag they half-remember.
+int usage_error(const char* argv0, const std::string& message) {
+  std::fprintf(stderr, "error: %s\n\n", message.c_str());
+  return usage(argv0);
+}
+
+/// `expected` names the flag's real constraint ("a positive integer",
+/// "a port number (0-65535)", ...) so a value that IS an integer but
+/// fails a range check gets accurate guidance.
+int bad_number(const char* argv0, const char* flag, const char* expected,
+               const char* value) {
+  return usage_error(argv0, std::string(flag) + " needs " + expected +
+                                ", got '" + value + "'");
+}
+
+int print_version() {
+  std::printf("sweep_cli (AdapTBF campaign runner)\n"
+              "journal format:    %u  (JSONL campaign journal, "
+              "\"adaptbf_sweep\" header key)\n"
+              "dispatch protocol: %u  (coordinator/worker frames, "
+              "\"adaptbf_dispatch\" key)\n",
+              kJournalFormatVersion, kDispatchProtocolVersion);
+  return 0;
+}
+
+/// A loaded sweep file with its artifact paths resolved: CLI flags
+/// override the file's [output] defaults. Shared by every subcommand so
+/// they can never drift on how the same sweep file is interpreted. The
+/// load error, if any, is already printed (identically everywhere);
+/// callers just `return 1`.
+struct LoadedSweep {
+  SweepLoadResult loaded;
+  std::string csv, json, jsonl;
+  [[nodiscard]] bool ok() const { return loaded.ok(); }
+  [[nodiscard]] const SweepSpec& sweep() const { return *loaded.spec; }
+};
+
+LoadedSweep load_sweep_with_outputs(const char* sweep_path,
+                                    const char* csv_flag,
+                                    const char* json_flag,
+                                    const char* jsonl_flag) {
+  LoadedSweep out;
+  out.loaded = load_sweep_file(sweep_path);
+  if (!out.loaded.ok()) {
+    std::fprintf(stderr, "error: %s\n", out.loaded.error.c_str());
+    return out;
+  }
+  out.csv = csv_flag != nullptr ? csv_flag : out.loaded.csv_path;
+  out.json = json_flag != nullptr ? json_flag : out.loaded.json_path;
+  out.jsonl = jsonl_flag != nullptr ? jsonl_flag : out.loaded.jsonl_path;
+  return out;
 }
 
 /// Streams the completed journal at `jsonl` into the per-cell table plus
@@ -166,32 +232,33 @@ int run_merge(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--output") == 0 && i + 1 < argc) {
       merged_path = argv[++i];
     } else if (argv[i][0] == '-') {
-      std::fprintf(stderr, "unknown merge option '%s'\n", argv[i]);
-      return 2;
+      return usage_error(argv[0],
+                         std::string("unknown merge option '") + argv[i] +
+                             "'");
     } else if (sweep_path == nullptr) {
       sweep_path = argv[i];
     } else {
       shard_paths.emplace_back(argv[i]);
     }
   }
-  if (sweep_path == nullptr || shard_paths.empty()) return usage(argv[0]);
+  if (sweep_path == nullptr)
+    return usage_error(argv[0], "merge needs a <sweep.ini>");
+  if (shard_paths.empty())
+    return usage_error(argv[0],
+                       "merge needs the shard journals to merge "
+                       "(<shard.jsonl>...)");
 
-  SweepLoadResult loaded = load_sweep_file(sweep_path);
-  if (!loaded.ok()) {
-    std::fprintf(stderr, "error: %s\n", loaded.error.c_str());
-    return 1;
-  }
-  const SweepSpec& sweep = *loaded.spec;
-  const std::string csv = csv_path != nullptr ? csv_path : loaded.csv_path;
-  const std::string json = json_path != nullptr ? json_path : loaded.json_path;
-  const std::string merged =
-      merged_path != nullptr ? merged_path : loaded.jsonl_path;
-  if (merged.empty()) {
-    std::fprintf(stderr,
-                 "error: merge needs a destination (--output PATH or an "
-                 "[output] jsonl = line)\n");
-    return 2;
-  }
+  const LoadedSweep loaded =
+      load_sweep_with_outputs(sweep_path, csv_path, json_path, merged_path);
+  if (!loaded.ok()) return 1;
+  const SweepSpec& sweep = loaded.sweep();
+  const std::string& csv = loaded.csv;
+  const std::string& json = loaded.json;
+  const std::string& merged = loaded.jsonl;
+  if (merged.empty())
+    return usage_error(argv[0],
+                       "merge needs a destination (--output PATH or an "
+                       "[output] jsonl = line)");
 
   const std::vector<TrialSpec> trials = sweep.expand();
   const ShardMergeResult merge_result =
@@ -205,11 +272,181 @@ int run_merge(int argc, char** argv) {
   return export_from_journal(merged, sweep, trials, csv, json);
 }
 
+/// `sweep_cli serve`: coordinate a network-distributed campaign — lease
+/// trials to TCP workers, journal every returned row, export artifacts.
+int run_serve(int argc, char** argv) {
+  std::uint32_t port = 0;
+  bool port_given = false;
+  std::uint32_t lease_size = 16;
+  std::uint32_t lease_timeout_s = 30;
+  bool resume = false;
+  const char* csv_path = nullptr;
+  const char* json_path = nullptr;
+  const char* jsonl_path = nullptr;
+  const char* sweep_path = nullptr;
+  for (int i = 2; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--listen") == 0 && i + 1 < argc) {
+      if (!parse_u32_arg(argv[++i], port) || port > 0xffff)
+        return bad_number(argv[0], "--listen", "a port number (0-65535)", argv[i]);
+      port_given = true;
+    } else if (std::strcmp(argv[i], "--lease") == 0 && i + 1 < argc) {
+      if (!parse_u32_arg(argv[++i], lease_size) || lease_size == 0)
+        return bad_number(argv[0], "--lease", "a positive integer", argv[i]);
+    } else if (std::strcmp(argv[i], "--lease-timeout") == 0 && i + 1 < argc) {
+      if (!parse_u32_arg(argv[++i], lease_timeout_s) || lease_timeout_s == 0)
+        return bad_number(argv[0], "--lease-timeout", "a positive number of seconds", argv[i]);
+    } else if (std::strcmp(argv[i], "--csv") == 0 && i + 1 < argc) {
+      csv_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--output") == 0 && i + 1 < argc) {
+      jsonl_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--resume") == 0) {
+      resume = true;
+    } else if (argv[i][0] == '-') {
+      return usage_error(argv[0],
+                         std::string("unknown serve option '") + argv[i] +
+                             "'");
+    } else if (sweep_path == nullptr) {
+      sweep_path = argv[i];
+    } else {
+      return usage_error(argv[0], std::string("unexpected argument '") +
+                                      argv[i] + "'");
+    }
+  }
+  if (sweep_path == nullptr)
+    return usage_error(argv[0], "serve needs a <sweep.ini>");
+  if (!port_given)
+    return usage_error(argv[0], "serve needs --listen PORT");
+
+  const LoadedSweep loaded =
+      load_sweep_with_outputs(sweep_path, csv_path, json_path, jsonl_path);
+  if (!loaded.ok()) return 1;
+  const SweepSpec& sweep = loaded.sweep();
+  const std::string& csv = loaded.csv;
+  const std::string& json = loaded.json;
+  const std::string& jsonl = loaded.jsonl;
+  if (jsonl.empty())
+    return usage_error(argv[0],
+                       "serve needs a journal (--output PATH or an "
+                       "[output] jsonl = line) — the coordinator journals "
+                       "every trial workers return");
+
+  const std::vector<TrialSpec> trials = sweep.expand();
+  DispatchCoordinator::Options options;
+  options.port = static_cast<std::uint16_t>(port);
+  options.lease_size = lease_size;
+  options.lease_timeout_s = lease_timeout_s;
+  options.on_progress = [&](std::size_t done, std::size_t total) {
+    std::fprintf(stderr, "  [%zu/%zu] journaled\n", done, total);
+  };
+  DispatchCoordinator::Open opened =
+      DispatchCoordinator::open(jsonl, sweep.name, trials, resume, options);
+  if (!opened.ok()) {
+    std::fprintf(stderr, "error: %s\n", opened.error.c_str());
+    return 1;
+  }
+  std::fprintf(stderr,
+               "serving sweep '%s' (%zu trials) on port %u; workers join "
+               "with:\n  sweep_cli work --connect <this-host>:%u %s\n",
+               sweep.name.c_str(), trials.size(), opened.coordinator->port(),
+               opened.coordinator->port(), sweep_path);
+  const DispatchServeResult served = opened.coordinator->serve();
+  if (!served.ok()) {
+    std::fprintf(stderr,
+                 "error: %s\ncompleted trials are journaled in '%s'; rerun "
+                 "serve with --resume to continue\n",
+                 served.error.c_str(), jsonl.c_str());
+    return 1;
+  }
+  std::fprintf(stderr,
+               "campaign complete: %zu trials from %u worker(s), %u "
+               "lease(s), %u reclaimed, %zu duplicate row(s) ignored\n",
+               served.rows_received, served.workers_seen,
+               served.leases_granted, served.leases_reclaimed,
+               served.duplicate_rows);
+  return export_from_journal(jsonl, sweep, trials, csv, json);
+}
+
+/// `sweep_cli work`: run leases for a coordinator until it says done.
+int run_work(int argc, char** argv) {
+  std::uint32_t threads = 0;
+  const char* connect = nullptr;
+  const char* jsonl_path = nullptr;
+  const char* sweep_path = nullptr;
+  for (int i = 2; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--connect") == 0 && i + 1 < argc) {
+      connect = argv[++i];
+    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      if (!parse_u32_arg(argv[++i], threads))
+        return bad_number(argv[0], "--threads", "a non-negative integer", argv[i]);
+    } else if (std::strcmp(argv[i], "--output") == 0 && i + 1 < argc) {
+      jsonl_path = argv[++i];
+    } else if (argv[i][0] == '-') {
+      return usage_error(argv[0],
+                         std::string("unknown work option '") + argv[i] +
+                             "'");
+    } else if (sweep_path == nullptr) {
+      sweep_path = argv[i];
+    } else {
+      return usage_error(argv[0], std::string("unexpected argument '") +
+                                      argv[i] + "'");
+    }
+  }
+  if (sweep_path == nullptr)
+    return usage_error(argv[0], "work needs a <sweep.ini>");
+  if (connect == nullptr)
+    return usage_error(argv[0], "work needs --connect HOST:PORT");
+  const std::string endpoint = connect;
+  const std::size_t colon = endpoint.rfind(':');
+  std::uint32_t port = 0;
+  if (colon == std::string::npos || colon == 0 ||
+      !parse_u32_arg(endpoint.c_str() + colon + 1, port) || port == 0 ||
+      port > 0xffff)
+    return usage_error(argv[0], "--connect needs HOST:PORT, got '" +
+                                    endpoint + "'");
+  const std::string host = endpoint.substr(0, colon);
+
+  // The sweep file's [output] paths name the COORDINATOR's artifacts; a
+  // worker's optional local journal comes only from its own --output.
+  const LoadedSweep loaded =
+      load_sweep_with_outputs(sweep_path, nullptr, nullptr, nullptr);
+  if (!loaded.ok()) return 1;
+  const SweepSpec& sweep = loaded.sweep();
+  const std::vector<TrialSpec> trials = sweep.expand();
+  DispatchWorkerOptions options;
+  options.threads = threads;
+  if (jsonl_path != nullptr) options.journal_path = jsonl_path;
+  options.on_trial_done = [](const TrialResult& result) {
+    std::fprintf(stderr, "  trial %zu: %s / %s rep %u: %.1f MiB/s\n",
+                 result.index, result.scenario.c_str(),
+                 std::string(to_string(result.policy)).c_str(),
+                 result.repetition, result.aggregate_mibps);
+  };
+  std::fprintf(stderr, "worker: sweep '%s' (%zu trials), coordinator %s\n",
+               sweep.name.c_str(), trials.size(), endpoint.c_str());
+  const DispatchWorkResult worked = run_dispatch_worker(
+      host, static_cast<std::uint16_t>(port), sweep.name, trials, options);
+  if (!worked.ok()) {
+    std::fprintf(stderr, "error: %s\n", worked.error.c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "worker done: %zu trial(s) across %u lease(s)\n",
+               worked.trials_run, worked.leases_completed);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (argc > 1 && std::strcmp(argv[1], "--version") == 0)
+    return print_version();
   if (argc > 1 && std::strcmp(argv[1], "merge") == 0)
     return run_merge(argc, argv);
+  if (argc > 1 && std::strcmp(argv[1], "serve") == 0)
+    return run_serve(argc, argv);
+  if (argc > 1 && std::strcmp(argv[1], "work") == 0)
+    return run_work(argc, argv);
 
   std::uint32_t threads = 0;
   bool list_only = false;
@@ -232,19 +469,19 @@ int main(int argc, char** argv) {
       jsonl_path = argv[++i];
     } else if (std::strcmp(argv[i], "--shard-index") == 0 && i + 1 < argc) {
       if (!parse_u32_arg(argv[++i], shard.index))
-        return bad_number("--shard-index", argv[i]);
+        return bad_number(argv[0], "--shard-index", "a non-negative integer", argv[i]);
       shard_index_given = true;
     } else if (std::strcmp(argv[i], "--shard-count") == 0 && i + 1 < argc) {
       if (!parse_u32_arg(argv[++i], shard.count))
-        return bad_number("--shard-count", argv[i]);
+        return bad_number(argv[0], "--shard-count", "a non-negative integer", argv[i]);
       shard_count_given = true;
     } else if (std::strcmp(argv[i], "--resume") == 0) {
       resume = true;
     } else if (std::strcmp(argv[i], "--list") == 0) {
       list_only = true;
     } else if (argv[i][0] == '-') {
-      std::fprintf(stderr, "unknown option '%s'\n", argv[i]);
-      return 2;
+      return usage_error(argv[0],
+                         std::string("unknown option '") + argv[i] + "'");
     } else {
       sweep_path = argv[i];
     }
@@ -253,44 +490,32 @@ int main(int argc, char** argv) {
   if (shard_index_given != shard_count_given) {
     // Half a shard identity would default the other half and silently run
     // the wrong slice (or the whole campaign).
-    std::fprintf(stderr,
-                 "error: --shard-index and --shard-count must be given "
-                 "together\n");
-    return 2;
+    return usage_error(argv[0],
+                       "--shard-index and --shard-count must be given "
+                       "together");
   }
   if (shard_index_given) {
     const std::string shard_error = shard_ref_error(shard);
-    if (!shard_error.empty()) {
-      std::fprintf(stderr, "error: %s\n", shard_error.c_str());
-      return 2;
-    }
+    if (!shard_error.empty()) return usage_error(argv[0], shard_error);
   }
 
-  SweepLoadResult loaded = load_sweep_file(sweep_path);
-  if (!loaded.ok()) {
-    std::fprintf(stderr, "error: %s\n", loaded.error.c_str());
-    return 1;
-  }
-  const SweepSpec& sweep = *loaded.spec;
-  // CLI flags override the sweep file's [output] defaults.
-  const std::string csv = csv_path != nullptr ? csv_path : loaded.csv_path;
-  const std::string json = json_path != nullptr ? json_path : loaded.json_path;
-  const std::string jsonl =
-      jsonl_path != nullptr ? jsonl_path : loaded.jsonl_path;
-  if (resume && jsonl.empty()) {
-    std::fprintf(stderr,
-                 "error: --resume needs a journal (--output PATH or an "
-                 "[output] jsonl = line)\n");
-    return 2;
-  }
-  if (shard.sharded() && jsonl.empty() && !list_only) {
-    std::fprintf(stderr,
-                 "error: a sharded run needs a journal base (--output PATH "
-                 "or an [output] jsonl = line); the shard writes "
-                 "PATH.shard-%u-of-%u\n",
-                 shard.index, shard.count);
-    return 2;
-  }
+  const LoadedSweep loaded =
+      load_sweep_with_outputs(sweep_path, csv_path, json_path, jsonl_path);
+  if (!loaded.ok()) return 1;
+  const SweepSpec& sweep = loaded.sweep();
+  const std::string& csv = loaded.csv;
+  const std::string& json = loaded.json;
+  const std::string& jsonl = loaded.jsonl;
+  if (resume && jsonl.empty())
+    return usage_error(argv[0],
+                       "--resume needs a journal (--output PATH or an "
+                       "[output] jsonl = line)");
+  if (shard.sharded() && jsonl.empty() && !list_only)
+    return usage_error(argv[0],
+                       "a sharded run needs a journal base (--output PATH "
+                       "or an [output] jsonl = line); the shard writes "
+                       "PATH.shard-" + std::to_string(shard.index) +
+                       "-of-" + std::to_string(shard.count));
 
   const std::vector<TrialSpec> all_trials = sweep.expand();
   // Everything below runs the shard's slice. Unsharded runs alias the

@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# Docs completeness check (run from the repo root; CI runs it on every
+# push). Fails when the docs/ tree has drifted behind the code:
+#
+#   1. every public header in src/sweep/ and src/net/ must be mentioned
+#      somewhere under docs/
+#   2. every --flag sweep_cli parses must appear in docs/sweep_cli.md
+#   3. every sweep_cli subcommand must have a section in docs/sweep_cli.md
+#   4. the README must link all three docs pages
+#
+# Mentioning a header is a low bar on purpose: the check catches "we
+# added a subsystem and never documented it", not prose quality.
+set -u
+fail=0
+
+for header in src/sweep/*.h src/net/*.h; do
+  name=$(basename "$header")
+  if ! grep -rq "$name" docs/; then
+    echo "docs check: public header $name is not mentioned under docs/" >&2
+    fail=1
+  fi
+done
+
+flags=$(grep -o '"--[a-z-]*"' examples/sweep_cli.cpp | tr -d '"' | sort -u)
+for flag in $flags; do
+  if ! grep -q -- "$flag" docs/sweep_cli.md; then
+    echo "docs check: sweep_cli flag $flag is missing from docs/sweep_cli.md" >&2
+    fail=1
+  fi
+done
+
+for sub in merge serve work; do
+  if ! grep -q "^## .*\`$sub\`" docs/sweep_cli.md; then
+    echo "docs check: sweep_cli subcommand '$sub' has no section in docs/sweep_cli.md" >&2
+    fail=1
+  fi
+done
+
+for page in docs/architecture.md docs/formats.md docs/sweep_cli.md; do
+  if ! grep -q "$page" README.md; then
+    echo "docs check: README.md does not link $page" >&2
+    fail=1
+  fi
+done
+
+if [ "$fail" -eq 0 ]; then
+  echo "docs check: OK"
+fi
+exit "$fail"

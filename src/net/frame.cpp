@@ -1,0 +1,111 @@
+#include "net/frame.h"
+
+#include <cstring>
+
+#include "net/socket.h"
+
+namespace adaptbf {
+
+namespace {
+
+std::uint32_t read_u32le(const char* p) {
+  const auto* b = reinterpret_cast<const unsigned char*>(p);
+  return static_cast<std::uint32_t>(b[0]) |
+         (static_cast<std::uint32_t>(b[1]) << 8) |
+         (static_cast<std::uint32_t>(b[2]) << 16) |
+         (static_cast<std::uint32_t>(b[3]) << 24);
+}
+
+void write_u32le(char* p, std::uint32_t v) {
+  p[0] = static_cast<char>(v & 0xff);
+  p[1] = static_cast<char>((v >> 8) & 0xff);
+  p[2] = static_cast<char>((v >> 16) & 0xff);
+  p[3] = static_cast<char>((v >> 24) & 0xff);
+}
+
+/// Validates a complete 8-byte header. Returns empty on success, else the
+/// violation (the caller reports it and drops the connection).
+std::string check_header(const char* header, std::uint32_t& length) {
+  if (std::memcmp(header, kFrameMagic, sizeof(kFrameMagic)) != 0)
+    return "bad frame magic (not a dispatch connection, or stream "
+           "desynchronized)";
+  length = read_u32le(header + 4);
+  if (length > kMaxFramePayload)
+    return "frame length " + std::to_string(length) + " exceeds the " +
+           std::to_string(kMaxFramePayload) + "-byte cap";
+  return {};
+}
+
+}  // namespace
+
+std::string encode_frame(std::string_view payload) {
+  if (payload.size() > kMaxFramePayload) return {};
+  std::string out;
+  out.reserve(kFrameHeaderSize + payload.size());
+  out.append(kFrameMagic, sizeof(kFrameMagic));
+  char len[4];
+  write_u32le(len, static_cast<std::uint32_t>(payload.size()));
+  out.append(len, sizeof(len));
+  out.append(payload);
+  return out;
+}
+
+void FrameReader::feed(const char* data, std::size_t n) {
+  if (bad_) return;  // The stream is already lost; don't grow the buffer.
+  buffer_.append(data, n);
+}
+
+FrameReader::Status FrameReader::next(std::string& payload,
+                                      std::string& error) {
+  if (bad_) {
+    error = bad_reason_;
+    return Status::kBad;
+  }
+  if (buffer_.size() < kFrameHeaderSize) return Status::kNeedMore;
+  std::uint32_t length = 0;
+  bad_reason_ = check_header(buffer_.data(), length);
+  if (!bad_reason_.empty()) {
+    bad_ = true;
+    error = bad_reason_;
+    return Status::kBad;
+  }
+  if (buffer_.size() < kFrameHeaderSize + length) return Status::kNeedMore;
+  payload.assign(buffer_, kFrameHeaderSize, length);
+  buffer_.erase(0, kFrameHeaderSize + length);
+  return Status::kFrame;
+}
+
+bool read_frame(TcpSocket& socket, std::string& payload, std::string& error) {
+  error.clear();
+  char header[kFrameHeaderSize];
+  // Distinguish clean EOF (peer closed between frames: empty error) from
+  // a torn header (mid-frame close or I/O error).
+  const long first = socket.recv_some(header, sizeof(header));
+  if (first == 0) return false;
+  if (first < 0) {
+    error = "recv failed";
+    return false;
+  }
+  if (static_cast<std::size_t>(first) < sizeof(header) &&
+      !socket.recv_all(header + first, sizeof(header) - first)) {
+    error = "connection closed mid-frame (truncated header)";
+    return false;
+  }
+  std::uint32_t length = 0;
+  error = check_header(header, length);
+  if (!error.empty()) return false;
+  payload.resize(length);
+  if (length > 0 && !socket.recv_all(payload.data(), length)) {
+    error = "connection closed mid-frame (truncated payload)";
+    return false;
+  }
+  return true;
+}
+
+bool write_frame(TcpSocket& socket, std::string_view payload) {
+  const std::string frame = encode_frame(payload);
+  if (frame.empty()) return false;
+  return socket.send_all(frame.data(), frame.size());
+}
+
+}  // namespace adaptbf

@@ -1,0 +1,79 @@
+// Length-prefixed message framing for the dispatch protocol.
+//
+// Every message on a dispatch connection is one frame:
+//
+//   bytes 0-3   magic "ATBF" (0x41 0x54 0x42 0x46)
+//   bytes 4-7   payload length, unsigned 32-bit little-endian
+//   bytes 8-    payload: one JSON object (sweep/dispatch.h messages)
+//
+// The magic heads every frame — not just the connection — so a
+// desynchronized or hostile stream is detected at the next frame boundary
+// instead of being reinterpreted as a length. Payloads above
+// kMaxFramePayload are rejected before any allocation: a corrupt length
+// must not become a multi-gigabyte buffer. Protocol *versioning* is not
+// framing's job; the hello message carries the version (dispatch.h).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace adaptbf {
+
+/// Frame header bytes: "ATBF" + u32le length.
+inline constexpr std::size_t kFrameHeaderSize = 8;
+inline constexpr char kFrameMagic[4] = {'A', 'T', 'B', 'F'};
+
+/// Upper bound on one frame's payload. Generous for protocol messages (a
+/// result row with thousands of jobs is ~hundreds of KB) yet small enough
+/// that a garbage length fails fast.
+inline constexpr std::uint32_t kMaxFramePayload = 16u * 1024u * 1024u;
+
+/// Wraps `payload` in a frame header. Requires
+/// payload.size() <= kMaxFramePayload (checked; returns "" on violation —
+/// an empty string is never a valid frame, frames are >= 8 bytes).
+[[nodiscard]] std::string encode_frame(std::string_view payload);
+
+/// Incremental frame extractor for poll()-driven readers.
+///
+/// Feed raw received bytes in any fragmentation; next() yields complete
+/// payloads in order. Once next() reports kBad the stream is
+/// unrecoverable (framing lost) and the connection must be dropped —
+/// every later next() keeps returning kBad.
+class FrameReader {
+ public:
+  enum class Status {
+    kFrame,     ///< `payload` holds one complete message.
+    kNeedMore,  ///< No complete frame buffered yet.
+    kBad,       ///< Bad magic or oversized length; drop the connection.
+  };
+
+  /// Appends raw bytes from the socket.
+  void feed(const char* data, std::size_t n);
+
+  /// Extracts the next complete frame into `payload`. On kBad, `error`
+  /// names the violation (for the eviction log line).
+  [[nodiscard]] Status next(std::string& payload, std::string& error);
+
+  /// Bytes buffered but not yet returned (tests; truncation detection).
+  [[nodiscard]] std::size_t pending_bytes() const { return buffer_.size(); }
+
+ private:
+  std::string buffer_;
+  bool bad_ = false;
+  std::string bad_reason_;
+};
+
+/// Blocking single-frame read for the worker side: exactly one frame off
+/// `recv_all`-style I/O. Returns false on EOF, I/O error, bad magic, or
+/// oversized length; `error` says which (empty error + false = clean EOF
+/// before any byte, i.e. the peer closed between frames).
+class TcpSocket;
+[[nodiscard]] bool read_frame(TcpSocket& socket, std::string& payload,
+                              std::string& error);
+
+/// Blocking single-frame write: encode + send_all. False on any I/O error.
+[[nodiscard]] bool write_frame(TcpSocket& socket, std::string_view payload);
+
+}  // namespace adaptbf

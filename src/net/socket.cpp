@@ -1,0 +1,188 @@
+#include "net/socket.h"
+
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace adaptbf {
+
+namespace {
+
+std::string errno_string(const char* what) {
+  return std::string(what) + ": " + std::strerror(errno);
+}
+
+}  // namespace
+
+// ------------------------------------------------------------- TcpSocket
+
+TcpSocket::TcpSocket(TcpSocket&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)) {}
+
+TcpSocket& TcpSocket::operator=(TcpSocket&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = std::exchange(other.fd_, -1);
+  }
+  return *this;
+}
+
+TcpSocket::~TcpSocket() { close(); }
+
+void TcpSocket::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void TcpSocket::shutdown_write() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_WR);
+}
+
+bool TcpSocket::send_all(const void* data, std::size_t n) {
+  const char* p = static_cast<const char*>(data);
+  while (n > 0) {
+    const ssize_t sent = ::send(fd_, p, n, MSG_NOSIGNAL);
+    if (sent < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (sent == 0) return false;
+    p += sent;
+    n -= static_cast<std::size_t>(sent);
+  }
+  return true;
+}
+
+long TcpSocket::recv_some(void* data, std::size_t n) {
+  for (;;) {
+    const ssize_t got = ::recv(fd_, data, n, 0);
+    if (got < 0 && errno == EINTR) continue;
+    return static_cast<long>(got);
+  }
+}
+
+bool TcpSocket::recv_all(void* data, std::size_t n) {
+  char* p = static_cast<char*>(data);
+  while (n > 0) {
+    const long got = recv_some(p, n);
+    if (got <= 0) return false;
+    p += got;
+    n -= static_cast<std::size_t>(got);
+  }
+  return true;
+}
+
+TcpSocket::ConnectResult TcpSocket::connect_to(const std::string& host,
+                                               std::uint16_t port) {
+  ConnectResult result;
+  addrinfo hints{};
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* list = nullptr;
+  const std::string service = std::to_string(port);
+  const int rc = ::getaddrinfo(host.c_str(), service.c_str(), &hints, &list);
+  if (rc != 0) {
+    result.error = "cannot resolve '" + host + "': " + ::gai_strerror(rc);
+    return result;
+  }
+  for (addrinfo* ai = list; ai != nullptr; ai = ai->ai_next) {
+    const int fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) continue;
+    if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) {
+      // Leases and heartbeats are small messages; latency beats batching.
+      const int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      result.socket = TcpSocket(fd);
+      break;
+    }
+    result.error = errno_string("connect");
+    ::close(fd);
+  }
+  ::freeaddrinfo(list);
+  if (!result.ok() && result.error.empty())
+    result.error = "no usable address for '" + host + "'";
+  if (result.ok()) result.error.clear();
+  return result;
+}
+
+// ----------------------------------------------------------- TcpListener
+
+TcpListener::TcpListener(TcpListener&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)),
+      port_(std::exchange(other.port_, 0)) {}
+
+TcpListener& TcpListener::operator=(TcpListener&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = std::exchange(other.fd_, -1);
+    port_ = std::exchange(other.port_, 0);
+  }
+  return *this;
+}
+
+TcpListener::~TcpListener() { close(); }
+
+void TcpListener::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+TcpSocket TcpListener::accept_one() {
+  for (;;) {
+    const int fd = ::accept(fd_, nullptr, nullptr);
+    if (fd < 0 && errno == EINTR) continue;
+    if (fd < 0) return {};
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    return TcpSocket(fd);
+  }
+}
+
+TcpListener::ListenResult TcpListener::listen_on(std::uint16_t port) {
+  ListenResult result;
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    result.error = errno_string("socket");
+    return result;
+  }
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_ANY);
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    result.error = errno_string("bind");
+    ::close(fd);
+    return result;
+  }
+  if (::listen(fd, SOMAXCONN) != 0) {
+    result.error = errno_string("listen");
+    ::close(fd);
+    return result;
+  }
+  // Read the bound port back so a requested port of 0 (tests) reports the
+  // kernel's ephemeral pick.
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) != 0) {
+    result.error = errno_string("getsockname");
+    ::close(fd);
+    return result;
+  }
+  result.listener.fd_ = fd;
+  result.listener.port_ = ntohs(bound.sin_port);
+  return result;
+}
+
+}  // namespace adaptbf

@@ -1,0 +1,118 @@
+// Minimal TCP transport for the campaign dispatch layer.
+//
+// A deliberately thin wrapper over POSIX stream sockets: connect, listen,
+// accept, send-all, recv. No TLS, no name-resolution niceties beyond
+// getaddrinfo, no portability shims beyond what the build already targets
+// (POSIX). Errors surface as strings in result structs — the dispatch
+// layer treats every network failure the same way (drop the peer, re-lease
+// its work), so rich error taxonomies would go unused.
+//
+// Framing, protocol versioning, and message semantics live one layer up
+// in net/frame.h and sweep/dispatch.h.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace adaptbf {
+
+/// One connected stream socket. Owns the file descriptor: movable, not
+/// copyable; the destructor closes. A default-constructed socket is
+/// invalid (valid() == false) and every operation on it fails.
+class TcpSocket {
+ public:
+  TcpSocket() = default;
+  /// Adopts an already-open descriptor (accept(), tests).
+  explicit TcpSocket(int fd) : fd_(fd) {}
+  TcpSocket(TcpSocket&& other) noexcept;
+  TcpSocket& operator=(TcpSocket&& other) noexcept;
+  TcpSocket(const TcpSocket&) = delete;
+  TcpSocket& operator=(const TcpSocket&) = delete;
+  ~TcpSocket();
+
+  [[nodiscard]] bool valid() const { return fd_ >= 0; }
+  /// Raw descriptor for poll(); -1 when invalid. Ownership stays here.
+  [[nodiscard]] int fd() const { return fd_; }
+
+  /// Blocks until all `n` bytes are written (handles short writes and
+  /// EINTR). False on any error, including a closed peer; SIGPIPE is
+  /// suppressed (MSG_NOSIGNAL), the caller sees `false`, not a signal.
+  [[nodiscard]] bool send_all(const void* data, std::size_t n);
+
+  /// One recv(2): up to `n` bytes. Returns the byte count, 0 on orderly
+  /// peer close, -1 on error. Blocks unless the socket is non-blocking
+  /// (then -1/EAGAIN maps to -1; the poll()-driven caller distinguishes
+  /// by polling first).
+  [[nodiscard]] long recv_some(void* data, std::size_t n);
+
+  /// Blocks until exactly `n` bytes arrive. False on EOF or error —
+  /// callers that need "clean EOF" vs "torn read" use recv_some.
+  [[nodiscard]] bool recv_all(void* data, std::size_t n);
+
+  /// Closes now (idempotent). Used to simulate abrupt worker death in
+  /// tests and to evict silent workers: the peer sees EOF/ECONNRESET.
+  void close();
+
+  /// Half-close: no more sends, receiving still possible. The graceful
+  /// goodbye — the peer reads everything already sent, THEN sees EOF. A
+  /// full close() with unread peer data risks an RST that discards our
+  /// final frames from the peer's receive queue.
+  void shutdown_write();
+
+  /// Connects to `host:port` (numeric or resolvable host). On failure the
+  /// returned socket is invalid and `error` says why.
+  struct ConnectResult;
+  [[nodiscard]] static ConnectResult connect_to(const std::string& host,
+                                                std::uint16_t port);
+
+ private:
+  int fd_ = -1;
+};
+
+struct TcpSocket::ConnectResult {
+  TcpSocket socket;
+  std::string error;
+  [[nodiscard]] bool ok() const { return socket.valid(); }
+};
+
+/// A listening TCP socket bound to `port` on all interfaces (port 0 picks
+/// an ephemeral port — tests bind 0 and read port() back). Movable, not
+/// copyable; the destructor closes.
+class TcpListener {
+ public:
+  TcpListener() = default;
+  TcpListener(TcpListener&& other) noexcept;
+  TcpListener& operator=(TcpListener&& other) noexcept;
+  TcpListener(const TcpListener&) = delete;
+  TcpListener& operator=(const TcpListener&) = delete;
+  ~TcpListener();
+
+  [[nodiscard]] bool valid() const { return fd_ >= 0; }
+  [[nodiscard]] int fd() const { return fd_; }
+  /// The actually bound port (resolves a requested port of 0).
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+
+  /// Accepts one pending connection, or an invalid socket when the queue
+  /// is empty (callers poll() on fd() first) or on error.
+  [[nodiscard]] TcpSocket accept_one();
+
+  void close();
+
+  /// Binds (SO_REUSEADDR) and listens. On failure the listener is invalid
+  /// and `error` says why (port in use, privileged port, ...).
+  struct ListenResult;
+  [[nodiscard]] static ListenResult listen_on(std::uint16_t port);
+
+ private:
+  int fd_ = -1;
+  std::uint16_t port_ = 0;
+};
+
+struct TcpListener::ListenResult {
+  TcpListener listener;
+  std::string error;
+  [[nodiscard]] bool ok() const { return listener.valid(); }
+};
+
+}  // namespace adaptbf

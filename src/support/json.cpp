@@ -1,7 +1,10 @@
 #include "support/json.h"
 
+#include <charconv>
 #include <cmath>
 #include <cstdio>
+#include <cstring>
+#include <limits>
 
 namespace adaptbf {
 
@@ -35,6 +38,98 @@ std::string json_num_exact(double v) {
   char buf[40];
   std::snprintf(buf, sizeof(buf), "%.17g", v);
   return buf;
+}
+
+bool json_lit(JsonCursor& c, std::string_view token) {
+  if (static_cast<std::size_t>(c.end - c.p) < token.size()) return false;
+  if (std::memcmp(c.p, token.data(), token.size()) != 0) return false;
+  c.p += token.size();
+  return true;
+}
+
+bool json_parse_string(JsonCursor& c, std::string& out) {
+  if (!json_lit(c, "\"")) return false;
+  out.clear();
+  while (c.p != c.end) {
+    const char ch = *c.p++;
+    if (ch == '"') return true;
+    if (ch == '\\') {
+      if (c.p == c.end) return false;
+      const char esc = *c.p++;
+      if (esc == '"' || esc == '\\') {
+        out += esc;
+      } else if (esc == 'u') {
+        // The writer only \u-escapes control characters (< 0x20).
+        if (c.end - c.p < 4) return false;
+        unsigned value = 0;
+        for (int i = 0; i < 4; ++i) {
+          const char h = *c.p++;
+          value <<= 4;
+          if (h >= '0' && h <= '9') value |= static_cast<unsigned>(h - '0');
+          else if (h >= 'a' && h <= 'f')
+            value |= static_cast<unsigned>(h - 'a' + 10);
+          else return false;
+        }
+        if (value >= 0x20) return false;
+        out += static_cast<char>(value);
+      } else {
+        return false;
+      }
+    } else if (static_cast<unsigned char>(ch) < 0x20) {
+      return false;
+    } else {
+      out += ch;
+    }
+  }
+  return false;  // Unterminated string.
+}
+
+bool json_parse_u64(JsonCursor& c, std::uint64_t& out) {
+  auto [ptr, ec] = std::from_chars(c.p, c.end, out);
+  if (ec != std::errc{}) return false;
+  c.p = ptr;
+  return true;
+}
+
+bool json_parse_u32(JsonCursor& c, std::uint32_t& out) {
+  std::uint64_t v = 0;
+  if (!json_parse_u64(c, v) ||
+      v > std::numeric_limits<std::uint32_t>::max())
+    return false;
+  out = static_cast<std::uint32_t>(v);
+  return true;
+}
+
+bool json_parse_i64(JsonCursor& c, std::int64_t& out) {
+  auto [ptr, ec] = std::from_chars(c.p, c.end, out);
+  if (ec != std::errc{}) return false;
+  c.p = ptr;
+  return true;
+}
+
+bool json_parse_hash16(JsonCursor& c, std::uint64_t& out) {
+  if (c.end - c.p < 16) return false;
+  auto [ptr, ec] = std::from_chars(c.p, c.p + 16, out, 16);
+  if (ec != std::errc{} || ptr != c.p + 16) return false;
+  c.p = ptr;
+  return true;
+}
+
+bool json_parse_double_or_null(JsonCursor& c, double& out) {
+  if (json_lit(c, "null")) {
+    out = std::numeric_limits<double>::quiet_NaN();
+    return true;
+  }
+  auto [ptr, ec] = std::from_chars(c.p, c.end, out);
+  if (ec != std::errc{}) return false;
+  c.p = ptr;
+  return true;
+}
+
+bool json_parse_bool(JsonCursor& c, bool& out) {
+  if (json_lit(c, "true")) { out = true; return true; }
+  if (json_lit(c, "false")) { out = false; return true; }
+  return false;
 }
 
 }  // namespace adaptbf

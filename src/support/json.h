@@ -10,6 +10,7 @@
 // Both emit `null` for non-finite values (JSON has no NaN/Inf tokens).
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <string_view>
 
@@ -23,5 +24,47 @@ namespace adaptbf {
 
 /// Round-trip-exact numeric literal; "null" when non-finite.
 [[nodiscard]] std::string json_num_exact(double v);
+
+// --------------------------------------------------------- strict scanner
+//
+// Linear scanner for machine-written JSON in a fixed dialect: exact key
+// order, exact structure, no whitespace. The journal rows and the dispatch
+// protocol frames are both written by this codebase, so their readers are
+// strict mirrors of the writers — anything unexpected (truncation, hand
+// edits, crash garbage, a hostile peer) fails the parse as a whole rather
+// than yielding a partial value. Every json_parse_* helper consumes input
+// on success and returns false (cursor state unspecified) on mismatch.
+
+struct JsonCursor {
+  const char* p;
+  const char* end;
+  explicit JsonCursor(std::string_view text)
+      : p(text.data()), end(text.data() + text.size()) {}
+  /// True when the whole input was consumed — callers check this last so
+  /// trailing garbage fails the parse.
+  [[nodiscard]] bool done() const { return p == end; }
+};
+
+/// Consumes the exact literal `token` (keys, punctuation, keywords).
+[[nodiscard]] bool json_lit(JsonCursor& c, std::string_view token);
+
+/// Quoted string as written by json_quote: only \" \\ and \u00XX (control
+/// characters) escapes are accepted.
+[[nodiscard]] bool json_parse_string(JsonCursor& c, std::string& out);
+
+[[nodiscard]] bool json_parse_u64(JsonCursor& c, std::uint64_t& out);
+[[nodiscard]] bool json_parse_u32(JsonCursor& c, std::uint32_t& out);
+[[nodiscard]] bool json_parse_i64(JsonCursor& c, std::int64_t& out);
+
+/// Exactly 16 lowercase hex digits (the %016x rendering of a 64-bit
+/// hash — journal grid_hash, dispatch hello). Surrounding quotes are the
+/// caller's tokens.
+[[nodiscard]] bool json_parse_hash16(JsonCursor& c, std::uint64_t& out);
+
+/// JSON number or `null` (the json_num* encoding for non-finite doubles;
+/// null parses back as quiet NaN).
+[[nodiscard]] bool json_parse_double_or_null(JsonCursor& c, double& out);
+
+[[nodiscard]] bool json_parse_bool(JsonCursor& c, bool& out);
 
 }  // namespace adaptbf

@@ -1,0 +1,248 @@
+// Network-distributed campaign dispatch: one coordinator, N workers,
+// TCP message passing instead of a shared filesystem.
+//
+// The shard backend (shard.h) fans a campaign out across processes that
+// share a disk; this layer removes that requirement. The coordinator
+// expands the grid once, opens ONE unsharded journal (trial_sink.h), and
+// leases work units — small batches of trial indices — to workers that
+// connect over TCP. Workers run their leases with the ordinary
+// SweepRunner and stream each finished trial row back; the coordinator
+// validates every row against the expanded grid (resume.h) and appends it
+// to the journal. Because rows are deterministic and the journal is
+// append-order-independent, the coordinator's journal is a first-class
+// campaign journal: its derived CSV/JSON are byte-identical to a
+// single-process run, no matter how trials were distributed, how many
+// workers died, or how many duplicate rows arrived.
+//
+// Fault model:
+//   - worker silent past the lease timeout, or its connection drops: the
+//     lease's undelivered trials are re-queued and handed to another
+//     worker (delivered rows are already journaled and never re-run)
+//   - duplicate delivery (a re-leased trial finishing twice, a retried
+//     frame): rows are deterministic, so the first valid row wins and
+//     later copies are counted and discarded — the exact stance the
+//     resume scanner takes on duplicate journal lines
+//   - coordinator killed: the journal is an ordinary resumable journal;
+//     restart `serve` with resume=true and only missing trials are
+//     re-leased
+//   - malformed frame, wrong protocol version, wrong sweep/grid: the
+//     offending connection is rejected with a named error and dropped;
+//     the campaign is never poisoned
+//
+// Workers need the same sweep file (they expand the grid themselves and
+// prove it with the grid hash in their hello) but no shared storage.
+// Wire format: net/frame.h frames carrying the JSON messages below;
+// docs/formats.md documents every frame field-by-field.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sweep/sweep_spec.h"
+#include "sweep/trial_sink.h"
+
+namespace adaptbf {
+
+/// Journal wire format generation: the value of the header's
+/// "adaptbf_sweep" key. The shard stamp (PR 3) is a backward-compatible
+/// optional extension, not a new generation.
+inline constexpr std::uint32_t kJournalFormatVersion = 1;
+
+/// Dispatch protocol generation: the value of every message's
+/// "adaptbf_dispatch" key. A coordinator rejects hellos from any other
+/// generation by name, so mixed-version fleets fail loudly at connect.
+inline constexpr std::uint32_t kDispatchProtocolVersion = 1;
+
+// ------------------------------------------------------------ wire format
+//
+// One JSON object per frame, machine-written in a fixed dialect (exact
+// key order, no whitespace) and read back with the strict support/json.h
+// scanner. Builders and parser are public so tests — and future tooling —
+// can speak the protocol without a live runner.
+
+namespace dispatch_wire {
+
+/// Worker -> coordinator, first frame: prove protocol + campaign identity.
+[[nodiscard]] std::string hello(const std::string& sweep,
+                                std::uint64_t grid_hash,
+                                std::uint64_t trials);
+/// Coordinator -> worker: hello accepted; `worker` is the session id.
+[[nodiscard]] std::string welcome(std::uint32_t worker);
+/// Coordinator -> worker: hello (or a later frame) rejected; the
+/// connection closes after this frame.
+[[nodiscard]] std::string error_msg(const std::string& message);
+/// Worker -> coordinator: ready for a lease.
+[[nodiscard]] std::string request();
+/// Coordinator -> worker: run these trial indices under lease `lease`.
+[[nodiscard]] std::string lease(std::uint64_t lease,
+                                std::span<const std::uint64_t> trials);
+/// Coordinator -> worker: nothing to lease right now; keep the connection
+/// open — a lease (re-leased from a dead worker) or `done` will follow.
+[[nodiscard]] std::string wait();
+/// Worker -> coordinator: one finished trial. `row` is the EXACT
+/// trial_to_jsonl line (no newline); embedding the bytes verbatim is what
+/// keeps the coordinator's journal byte-identical to a local run's.
+[[nodiscard]] std::string result(std::uint64_t lease, std::string_view row);
+/// Worker -> coordinator: liveness while a long trial runs.
+[[nodiscard]] std::string heartbeat();
+/// Coordinator -> worker: campaign complete; exit cleanly.
+[[nodiscard]] std::string done();
+
+struct Message {
+  enum class Type {
+    kHello,
+    kWelcome,
+    kError,
+    kRequest,
+    kLease,
+    kWait,
+    kResult,
+    kHeartbeat,
+    kDone,
+    /// Well-formed envelope, foreign "adaptbf_dispatch" generation.
+    /// `version` holds the peer's; nothing else is parsed.
+    kForeignVersion,
+  };
+  Type type = Type::kHeartbeat;
+  std::uint32_t version = 0;
+
+  std::string sweep;            ///< hello
+  std::uint64_t grid_hash = 0;  ///< hello
+  std::uint64_t trials = 0;     ///< hello: full expanded-grid size
+  std::uint32_t worker = 0;     ///< welcome
+  std::string message;          ///< error
+  std::uint64_t lease = 0;      ///< lease, result
+  std::vector<std::uint64_t> indices;  ///< lease
+  std::string row;              ///< result: exact journal-row bytes
+};
+
+/// Strict parse of one frame payload. False on any malformation — except
+/// a well-formed envelope with a foreign protocol version, which parses
+/// to kForeignVersion so the receiver can reject it BY NAME instead of
+/// as garbage.
+[[nodiscard]] bool parse(std::string_view payload, Message& out);
+
+}  // namespace dispatch_wire
+
+// ------------------------------------------------------------ coordinator
+
+struct DispatchCoordinatorOptions {
+  /// TCP port to listen on; 0 binds an ephemeral port (tests read
+  /// DispatchCoordinator::port() back).
+  std::uint16_t port = 0;
+  /// Trials per lease. Small leases spread load and shrink the re-run
+  /// cost of a dead worker; large leases amortize round trips.
+  std::uint32_t lease_size = 16;
+  /// A lease whose worker sends nothing (rows, heartbeats, anything) for
+  /// this long is reclaimed and its undelivered trials re-leased; the
+  /// silent connection is dropped. Must exceed the workers' heartbeat
+  /// interval with margin.
+  double lease_timeout_s = 30.0;
+  /// Journal durability knobs (tests disable fsync).
+  JsonlSinkOptions sink{};
+  /// Called after each newly journaled trial, from the serve() thread.
+  std::function<void(std::size_t rows_done, std::size_t total)> on_progress;
+};
+
+/// Outcome of one serve() call. rows/duplicates/leases count THIS call's
+/// traffic (a resumed serve starts from the journal's existing rows).
+struct DispatchServeResult {
+  std::string error;  ///< Empty unless serving itself failed (I/O, bind).
+  bool complete = false;          ///< Every trial journaled.
+  std::size_t rows_received = 0;  ///< Newly journaled rows.
+  std::size_t duplicate_rows = 0; ///< Valid re-deliveries, discarded.
+  std::uint32_t workers_seen = 0;
+  std::uint32_t leases_granted = 0;
+  /// Leases reclaimed from silent/dead workers and re-queued.
+  std::uint32_t leases_reclaimed = 0;
+  [[nodiscard]] bool ok() const { return error.empty(); }
+};
+
+/// The campaign coordinator: owns the listener and the single unsharded
+/// journal. Construction (open) validates/creates the journal exactly
+/// like a local `sweep_cli --output` run — a pre-existing journal needs
+/// resume=true and must match the sweep name and grid hash; completed
+/// trials found there are never re-leased.
+class DispatchCoordinator {
+ public:
+  using Options = DispatchCoordinatorOptions;
+  struct Open {
+    std::unique_ptr<DispatchCoordinator> coordinator;
+    std::string error;  ///< Non-empty when coordinator == nullptr.
+    [[nodiscard]] bool ok() const { return coordinator != nullptr; }
+  };
+
+  /// `trials` is the full expanded grid and must outlive the coordinator.
+  [[nodiscard]] static Open open(const std::string& journal_path,
+                                 const std::string& sweep_name,
+                                 std::span<const TrialSpec> trials,
+                                 bool resume, Options options = {});
+
+  ~DispatchCoordinator();
+  DispatchCoordinator(const DispatchCoordinator&) = delete;
+  DispatchCoordinator& operator=(const DispatchCoordinator&) = delete;
+
+  /// The bound listen port (the ephemeral pick when options.port == 0).
+  [[nodiscard]] std::uint16_t port() const;
+
+  /// Accepts workers and dispatches leases until every trial is journaled
+  /// (or request_stop()). Blocking; single-threaded; run it on a
+  /// dedicated thread if the caller needs to do anything else. The
+  /// journal is flushed before returning, so even a stopped serve leaves
+  /// a valid, resumable journal behind.
+  [[nodiscard]] DispatchServeResult serve();
+
+  /// Thread-safe: makes a running serve() return at its next poll tick
+  /// (<= ~50 ms). Used by tests and signal handlers.
+  void request_stop();
+
+ private:
+  DispatchCoordinator();
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+// ----------------------------------------------------------------- worker
+
+struct DispatchWorkerOptions {
+  /// SweepRunner worker threads per lease; 0 = hardware concurrency.
+  std::uint32_t threads = 1;
+  /// Liveness cadence; keep well under the coordinator's lease timeout.
+  double heartbeat_interval_s = 2.0;
+  /// Keep retrying a refused/unreachable connect for this long before
+  /// giving up — workers routinely launch before their coordinator.
+  double connect_wait_s = 10.0;
+  /// Optional local journal: every finished trial is appended here BEFORE
+  /// it is streamed, so a worker's completed work survives even if both
+  /// the network and the coordinator die. Must not already exist.
+  std::string journal_path;
+  JsonlSinkOptions sink{};
+  /// Called after each finished trial, serialized, before streaming.
+  std::function<void(const TrialResult&)> on_trial_done;
+  /// Test hook: after streaming this many rows, hard-close the socket and
+  /// abandon the lease — simulates a worker killed mid-lease. 0 = never.
+  std::size_t abort_after_rows = 0;
+};
+
+struct DispatchWorkResult {
+  std::string error;  ///< Empty on a clean `done` from the coordinator.
+  std::size_t trials_run = 0;
+  std::uint32_t leases_completed = 0;
+  [[nodiscard]] bool ok() const { return error.empty(); }
+};
+
+/// Connects to a coordinator and runs leases until it says `done`.
+/// `trials` must be the same full expanded grid the coordinator serves
+/// (the hello's grid hash proves it; a mismatch is rejected by name).
+/// Any network failure abandons the in-flight lease and returns an error
+/// — the coordinator's timeout machinery re-leases the remainder.
+[[nodiscard]] DispatchWorkResult run_dispatch_worker(
+    const std::string& host, std::uint16_t port, const std::string& sweep_name,
+    std::span<const TrialSpec> trials, DispatchWorkerOptions options = {});
+
+}  // namespace adaptbf

@@ -36,18 +36,15 @@ class Fnv1a {
   std::uint64_t hash_ = 1469598103934665603ull;
 };
 
-/// True when a parsed journal row is the row the expanded grid expects at
-/// its index. Guards against journals from edited sweep files that the
-/// grid hash (computed from the same trial list) would also catch — this
-/// is the per-row belt to that suspender.
-bool row_matches(const TrialResult& row, std::span<const TrialSpec> trials) {
+}  // namespace
+
+bool trial_row_matches(const TrialResult& row,
+                       std::span<const TrialSpec> trials) {
   if (row.index >= trials.size()) return false;
   const TrialSpec& trial = trials[row.index];
   return row.seed == trial.seed && row.repetition == trial.repetition &&
          row.cell_id() == trial.cell_id();
 }
-
-}  // namespace
 
 std::uint64_t sweep_grid_hash(std::span<const TrialSpec> trials) {
   Fnv1a fnv;
@@ -178,7 +175,7 @@ CampaignScan scan_campaign_file(const std::string& path,
 
     TrialResult row;
     const bool valid =
-        trial_scalars_from_jsonl(line, row) && row_matches(row, trials);
+        trial_scalars_from_jsonl(line, row) && trial_row_matches(row, trials);
     if (valid) {
       if (shard_owner(row.index, shard.count) != shard.index) {
         // A foreign shard's row is not corruption — it parses fine — and

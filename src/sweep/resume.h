@@ -33,6 +33,13 @@ namespace adaptbf {
 /// Two sweeps resume-compatible iff their hashes match.
 [[nodiscard]] std::uint64_t sweep_grid_hash(std::span<const TrialSpec> trials);
 
+/// True when a parsed journal/wire row is the row the expanded grid
+/// expects at its index: in-range, same seed, repetition, and grid cell.
+/// The per-row belt to the grid hash's suspender — the journal scanner
+/// and the dispatch coordinator both refuse rows that fail it.
+[[nodiscard]] bool trial_row_matches(const TrialResult& row,
+                                     std::span<const TrialSpec> trials);
+
 /// Result of scanning a journal against an expanded sweep.
 struct CampaignScan {
   std::string error;  ///< Non-empty: journal unusable for this sweep.

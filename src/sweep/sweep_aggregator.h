@@ -55,6 +55,8 @@ struct CellStats {
   double mean_horizon_s = 0.0;
   std::uint64_t total_bytes = 0;  ///< Summed over repetitions.
 
+  /// Same key as TrialSpec/TrialResult::cell_id(): a cell and the trials
+  /// that fed it always agree on identity.
   [[nodiscard]] std::string cell_id() const;
 };
 

@@ -40,6 +40,9 @@ struct TrialResult {
   std::uint64_t events_dispatched = 0;
   std::vector<JobSummary> jobs;  ///< Ascending JobId, as in ExperimentResult.
 
+  /// Grid-cell identity (every coordinate except the repetition); equal
+  /// to the originating TrialSpec::cell_id(), which is how journal rows
+  /// are validated against the expanded grid on resume and dispatch.
   [[nodiscard]] std::string cell_id() const;
 };
 

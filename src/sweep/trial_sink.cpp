@@ -33,165 +33,76 @@ void append_field(std::string& out, const char* key, double v) {
 // --------------------------------------------------------- strict parser
 //
 // The journal is machine-written by the functions above, so the reader is
-// a strict mirror: exact key order, exact structure. Anything else —
-// truncation, hand edits, interleaved crash garbage — fails the parse and
-// the row counts as missing (the resume plan re-runs it). This is the
-// crash-safety property: a row is either bit-exact or not a row.
-
-struct Cursor {
-  const char* p;
-  const char* end;
-  [[nodiscard]] bool done() const { return p == end; }
-};
-
-bool lit(Cursor& c, std::string_view token) {
-  if (static_cast<std::size_t>(c.end - c.p) < token.size()) return false;
-  if (std::memcmp(c.p, token.data(), token.size()) != 0) return false;
-  c.p += token.size();
-  return true;
-}
-
-bool parse_string(Cursor& c, std::string& out) {
-  if (!lit(c, "\"")) return false;
-  out.clear();
-  while (c.p != c.end) {
-    const char ch = *c.p++;
-    if (ch == '"') return true;
-    if (ch == '\\') {
-      if (c.p == c.end) return false;
-      const char esc = *c.p++;
-      if (esc == '"' || esc == '\\') {
-        out += esc;
-      } else if (esc == 'u') {
-        // The writer only \u-escapes control characters (< 0x20).
-        if (c.end - c.p < 4) return false;
-        unsigned value = 0;
-        for (int i = 0; i < 4; ++i) {
-          const char h = *c.p++;
-          value <<= 4;
-          if (h >= '0' && h <= '9') value |= static_cast<unsigned>(h - '0');
-          else if (h >= 'a' && h <= 'f')
-            value |= static_cast<unsigned>(h - 'a' + 10);
-          else return false;
-        }
-        if (value >= 0x20) return false;
-        out += static_cast<char>(value);
-      } else {
-        return false;
-      }
-    } else if (static_cast<unsigned char>(ch) < 0x20) {
-      return false;
-    } else {
-      out += ch;
-    }
-  }
-  return false;  // Unterminated string.
-}
-
-bool parse_u64(Cursor& c, std::uint64_t& out) {
-  auto [ptr, ec] = std::from_chars(c.p, c.end, out);
-  if (ec != std::errc{}) return false;
-  c.p = ptr;
-  return true;
-}
-
-bool parse_u32(Cursor& c, std::uint32_t& out) {
-  std::uint64_t v = 0;
-  if (!parse_u64(c, v) || v > std::numeric_limits<std::uint32_t>::max())
-    return false;
-  out = static_cast<std::uint32_t>(v);
-  return true;
-}
-
-bool parse_i64(Cursor& c, std::int64_t& out) {
-  auto [ptr, ec] = std::from_chars(c.p, c.end, out);
-  if (ec != std::errc{}) return false;
-  c.p = ptr;
-  return true;
-}
-
-/// JSON number or `null` (the writer's encoding for non-finite doubles).
-bool parse_double_or_null(Cursor& c, double& out) {
-  if (lit(c, "null")) {
-    out = std::numeric_limits<double>::quiet_NaN();
-    return true;
-  }
-  auto [ptr, ec] = std::from_chars(c.p, c.end, out);
-  if (ec != std::errc{}) return false;
-  c.p = ptr;
-  return true;
-}
-
-bool parse_bool(Cursor& c, bool& out) {
-  if (lit(c, "true")) { out = true; return true; }
-  if (lit(c, "false")) { out = false; return true; }
-  return false;
-}
+// a strict mirror built on the shared support/json.h scanner: exact key
+// order, exact structure. Anything else — truncation, hand edits,
+// interleaved crash garbage — fails the parse and the row counts as
+// missing (the resume plan re-runs it). This is the crash-safety
+// property: a row is either bit-exact or not a row.
 
 bool parse_row(std::string_view line, TrialResult& out, bool keep_jobs) {
-  Cursor c{line.data(), line.data() + line.size()};
+  JsonCursor c(line);
   out = TrialResult{};
   std::uint64_t index = 0;
   std::string policy_name;
-  if (!lit(c, "{\"trial\":") || !parse_u64(c, index)) return false;
+  if (!json_lit(c, "{\"trial\":") || !json_parse_u64(c, index)) return false;
   out.index = static_cast<std::size_t>(index);
-  if (!lit(c, ",\"scenario\":") || !parse_string(c, out.scenario))
+  if (!json_lit(c, ",\"scenario\":") || !json_parse_string(c, out.scenario))
     return false;
-  if (!lit(c, ",\"policy\":") || !parse_string(c, policy_name)) return false;
+  if (!json_lit(c, ",\"policy\":") || !json_parse_string(c, policy_name)) return false;
   const auto policy = bw_control_from_name(policy_name);
   if (!policy.has_value()) return false;
   out.policy = *policy;
-  if (!lit(c, ",\"osts\":") || !parse_u32(c, out.num_osts)) return false;
-  if (!lit(c, ",\"token_rate\":") ||
-      !parse_double_or_null(c, out.max_token_rate))
+  if (!json_lit(c, ",\"osts\":") || !json_parse_u32(c, out.num_osts)) return false;
+  if (!json_lit(c, ",\"token_rate\":") ||
+      !json_parse_double_or_null(c, out.max_token_rate))
     return false;
-  if (!lit(c, ",\"repetition\":") || !parse_u32(c, out.repetition))
+  if (!json_lit(c, ",\"repetition\":") || !json_parse_u32(c, out.repetition))
     return false;
-  if (!lit(c, ",\"seed\":") || !parse_u64(c, out.seed)) return false;
-  if (!lit(c, ",\"aggregate_mibps\":") ||
-      !parse_double_or_null(c, out.aggregate_mibps))
+  if (!json_lit(c, ",\"seed\":") || !json_parse_u64(c, out.seed)) return false;
+  if (!json_lit(c, ",\"aggregate_mibps\":") ||
+      !json_parse_double_or_null(c, out.aggregate_mibps))
     return false;
-  if (!lit(c, ",\"fairness\":") || !parse_double_or_null(c, out.fairness))
+  if (!json_lit(c, ",\"fairness\":") || !json_parse_double_or_null(c, out.fairness))
     return false;
-  if (!lit(c, ",\"p50_ms\":") || !parse_double_or_null(c, out.p50_ms))
+  if (!json_lit(c, ",\"p50_ms\":") || !json_parse_double_or_null(c, out.p50_ms))
     return false;
-  if (!lit(c, ",\"p95_ms\":") || !parse_double_or_null(c, out.p95_ms))
+  if (!json_lit(c, ",\"p95_ms\":") || !json_parse_double_or_null(c, out.p95_ms))
     return false;
-  if (!lit(c, ",\"p99_ms\":") || !parse_double_or_null(c, out.p99_ms))
+  if (!json_lit(c, ",\"p99_ms\":") || !json_parse_double_or_null(c, out.p99_ms))
     return false;
-  if (!lit(c, ",\"horizon_s\":") || !parse_double_or_null(c, out.horizon_s))
+  if (!json_lit(c, ",\"horizon_s\":") || !json_parse_double_or_null(c, out.horizon_s))
     return false;
-  if (!lit(c, ",\"total_bytes\":") || !parse_u64(c, out.total_bytes))
+  if (!json_lit(c, ",\"total_bytes\":") || !json_parse_u64(c, out.total_bytes))
     return false;
-  if (!lit(c, ",\"events\":") || !parse_u64(c, out.events_dispatched))
+  if (!json_lit(c, ",\"events\":") || !json_parse_u64(c, out.events_dispatched))
     return false;
-  if (!lit(c, ",\"jobs\":[")) return false;
+  if (!json_lit(c, ",\"jobs\":[")) return false;
   bool first = true;
-  while (!lit(c, "]")) {
-    if (!first && !lit(c, ",")) return false;
+  while (!json_lit(c, "]")) {
+    if (!first && !json_lit(c, ",")) return false;
     first = false;
     JobSummary job;
     std::uint32_t id = 0;
     std::int64_t finish_ns = 0;
-    if (!lit(c, "{\"id\":") || !parse_u32(c, id)) return false;
+    if (!json_lit(c, "{\"id\":") || !json_parse_u32(c, id)) return false;
     job.id = JobId(id);
-    if (!lit(c, ",\"name\":") || !parse_string(c, job.name)) return false;
-    if (!lit(c, ",\"nodes\":") || !parse_u32(c, job.nodes)) return false;
-    if (!lit(c, ",\"mean_mibps\":") ||
-        !parse_double_or_null(c, job.mean_mibps))
+    if (!json_lit(c, ",\"name\":") || !json_parse_string(c, job.name)) return false;
+    if (!json_lit(c, ",\"nodes\":") || !json_parse_u32(c, job.nodes)) return false;
+    if (!json_lit(c, ",\"mean_mibps\":") ||
+        !json_parse_double_or_null(c, job.mean_mibps))
       return false;
-    if (!lit(c, ",\"rpcs\":") || !parse_u64(c, job.rpcs_completed))
+    if (!json_lit(c, ",\"rpcs\":") || !json_parse_u64(c, job.rpcs_completed))
       return false;
-    if (!lit(c, ",\"bytes\":") || !parse_u64(c, job.bytes_completed))
+    if (!json_lit(c, ",\"bytes\":") || !json_parse_u64(c, job.bytes_completed))
       return false;
-    if (!lit(c, ",\"finish_ns\":") || !parse_i64(c, finish_ns)) return false;
+    if (!json_lit(c, ",\"finish_ns\":") || !json_parse_i64(c, finish_ns)) return false;
     job.finish_time = SimTime(finish_ns);
-    if (!lit(c, ",\"finished\":") || !parse_bool(c, job.finished))
+    if (!json_lit(c, ",\"finished\":") || !json_parse_bool(c, job.finished))
       return false;
-    if (!lit(c, "}")) return false;
+    if (!json_lit(c, "}")) return false;
     if (keep_jobs) out.jobs.push_back(std::move(job));
   }
-  if (!lit(c, "}")) return false;
+  if (!json_lit(c, "}")) return false;
   return c.done();
 }
 
@@ -225,27 +136,26 @@ std::string campaign_header_line(const CampaignHeader& header) {
 }
 
 bool parse_campaign_header(std::string_view line, CampaignHeader& out) {
-  Cursor c{line.data(), line.data() + line.size()};
+  JsonCursor c(line);
   out = CampaignHeader{};
-  if (!lit(c, "{\"adaptbf_sweep\":1,\"name\":") || !parse_string(c, out.sweep))
+  if (!json_lit(c, "{\"adaptbf_sweep\":1,\"name\":") || !json_parse_string(c, out.sweep))
     return false;
-  if (!lit(c, ",\"grid_hash\":\"")) return false;
-  if (c.end - c.p < 16) return false;
-  auto [ptr, ec] = std::from_chars(c.p, c.p + 16, out.grid_hash, 16);
-  if (ec != std::errc{} || ptr != c.p + 16) return false;
-  c.p = ptr;
-  if (!lit(c, "\"") || !lit(c, ",\"trials\":") || !parse_u64(c, out.trials))
+  if (!json_lit(c, ",\"grid_hash\":\"") ||
+      !json_parse_hash16(c, out.grid_hash))
     return false;
-  if (lit(c, ",\"shard\":")) {
-    if (!parse_u32(c, out.shard.index) || !lit(c, ",\"shard_count\":") ||
-        !parse_u32(c, out.shard.count))
+  if (!json_lit(c, "\"") || !json_lit(c, ",\"trials\":") ||
+      !json_parse_u64(c, out.trials))
+    return false;
+  if (json_lit(c, ",\"shard\":")) {
+    if (!json_parse_u32(c, out.shard.index) || !json_lit(c, ",\"shard_count\":") ||
+        !json_parse_u32(c, out.shard.count))
       return false;
     // A stamped shard must be a real slice: K >= 2 and index in range.
     // (K == 1 writes the unsharded form above, never this one.)
     if (out.shard.count < 2 || out.shard.index >= out.shard.count)
       return false;
   }
-  if (!lit(c, "}")) return false;
+  if (!json_lit(c, "}")) return false;
   return c.done();
 }
 

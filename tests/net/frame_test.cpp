@@ -1,0 +1,185 @@
+// Frame codec: every way a byte stream can lie — fragmentation, bad
+// magic, hostile lengths, truncation — must be either reassembled
+// correctly or rejected permanently, never misread as a frame.
+#include "net/frame.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+
+#include "net/socket.h"
+
+namespace adaptbf {
+namespace {
+
+std::string payload_of(std::string_view text) { return std::string(text); }
+
+TEST(FrameCodec, EncodesHeaderPlusPayload) {
+  const std::string frame = encode_frame("abc");
+  ASSERT_EQ(frame.size(), kFrameHeaderSize + 3);
+  EXPECT_EQ(frame.substr(0, 4), "ATBF");
+  // u32le length.
+  EXPECT_EQ(frame[4], 3);
+  EXPECT_EQ(frame[5], 0);
+  EXPECT_EQ(frame[6], 0);
+  EXPECT_EQ(frame[7], 0);
+  EXPECT_EQ(frame.substr(8), "abc");
+}
+
+TEST(FrameCodec, RoundTripsThroughReaderWholeAndFragmented) {
+  const std::string message = "{\"hello\":true}";
+  const std::string frame = encode_frame(message);
+
+  // Whole frame in one feed.
+  FrameReader whole;
+  whole.feed(frame.data(), frame.size());
+  std::string payload, error;
+  ASSERT_EQ(whole.next(payload, error), FrameReader::Status::kFrame);
+  EXPECT_EQ(payload, message);
+  EXPECT_EQ(whole.next(payload, error), FrameReader::Status::kNeedMore);
+
+  // One byte at a time: kNeedMore until the last byte lands.
+  FrameReader dribble;
+  for (std::size_t i = 0; i + 1 < frame.size(); ++i) {
+    dribble.feed(frame.data() + i, 1);
+    EXPECT_EQ(dribble.next(payload, error), FrameReader::Status::kNeedMore)
+        << "byte " << i;
+  }
+  dribble.feed(frame.data() + frame.size() - 1, 1);
+  ASSERT_EQ(dribble.next(payload, error), FrameReader::Status::kFrame);
+  EXPECT_EQ(payload, message);
+}
+
+TEST(FrameCodec, ExtractsBackToBackFramesInOrder) {
+  const std::string stream =
+      encode_frame("first") + encode_frame("") + encode_frame("third");
+  FrameReader reader;
+  reader.feed(stream.data(), stream.size());
+  std::string payload, error;
+  ASSERT_EQ(reader.next(payload, error), FrameReader::Status::kFrame);
+  EXPECT_EQ(payload, "first");
+  ASSERT_EQ(reader.next(payload, error), FrameReader::Status::kFrame);
+  EXPECT_EQ(payload, "");
+  ASSERT_EQ(reader.next(payload, error), FrameReader::Status::kFrame);
+  EXPECT_EQ(payload, "third");
+  EXPECT_EQ(reader.next(payload, error), FrameReader::Status::kNeedMore);
+  EXPECT_EQ(reader.pending_bytes(), 0u);
+}
+
+TEST(FrameCodec, BadMagicIsAPermanentError) {
+  FrameReader reader;
+  const std::string garbage = "HTTP/1.1 200 OK\r\n";
+  reader.feed(garbage.data(), garbage.size());
+  std::string payload, error;
+  ASSERT_EQ(reader.next(payload, error), FrameReader::Status::kBad);
+  EXPECT_NE(error.find("magic"), std::string::npos) << error;
+
+  // Sticky: even a valid frame fed afterwards cannot resynchronize.
+  const std::string frame = encode_frame("x");
+  reader.feed(frame.data(), frame.size());
+  EXPECT_EQ(reader.next(payload, error), FrameReader::Status::kBad);
+}
+
+TEST(FrameCodec, OversizedLengthRejectedBeforeAllocation) {
+  // Header claiming a ~4 GiB payload: must be kBad immediately, not a
+  // kNeedMore that waits for 4 GiB.
+  std::string header = "ATBF";
+  header += '\xff';
+  header += '\xff';
+  header += '\xff';
+  header += '\xff';
+  FrameReader reader;
+  reader.feed(header.data(), header.size());
+  std::string payload, error;
+  ASSERT_EQ(reader.next(payload, error), FrameReader::Status::kBad);
+  EXPECT_NE(error.find("cap"), std::string::npos) << error;
+}
+
+TEST(FrameCodec, TruncatedFrameNeverYields) {
+  const std::string frame = encode_frame("a longer payload body");
+  FrameReader reader;
+  // Everything but the last byte: complete header, torn payload.
+  reader.feed(frame.data(), frame.size() - 1);
+  std::string payload, error;
+  EXPECT_EQ(reader.next(payload, error), FrameReader::Status::kNeedMore);
+  EXPECT_EQ(reader.pending_bytes(), frame.size() - 1);
+}
+
+TEST(FrameCodec, RefusesToEncodeOversizedPayload) {
+  const std::string too_big(kMaxFramePayload + 1, 'x');
+  EXPECT_TRUE(encode_frame(too_big).empty());
+  const std::string just_fits_header = encode_frame(payload_of(""));
+  EXPECT_EQ(just_fits_header.size(), kFrameHeaderSize);
+}
+
+// ------------------------------------------------- loopback socket I/O
+
+TEST(FrameSocket, WriteReadRoundTripOverLoopback) {
+  auto listening = TcpListener::listen_on(0);
+  ASSERT_TRUE(listening.ok()) << listening.error;
+  TcpListener listener = std::move(listening.listener);
+
+  std::string received;
+  std::string server_error;
+  std::thread server([&] {
+    TcpSocket conn = listener.accept_one();
+    ASSERT_TRUE(conn.valid());
+    ASSERT_TRUE(read_frame(conn, received, server_error)) << server_error;
+    ASSERT_TRUE(write_frame(conn, "pong"));
+  });
+
+  auto connected = TcpSocket::connect_to("127.0.0.1", listener.port());
+  ASSERT_TRUE(connected.ok()) << connected.error;
+  ASSERT_TRUE(write_frame(connected.socket, "ping"));
+  std::string reply, error;
+  ASSERT_TRUE(read_frame(connected.socket, reply, error)) << error;
+  EXPECT_EQ(reply, "pong");
+  server.join();
+  EXPECT_EQ(received, "ping");
+}
+
+TEST(FrameSocket, PeerClosingMidFrameIsATruncationError) {
+  auto listening = TcpListener::listen_on(0);
+  ASSERT_TRUE(listening.ok()) << listening.error;
+  TcpListener listener = std::move(listening.listener);
+
+  std::thread server([&] {
+    TcpSocket conn = listener.accept_one();
+    ASSERT_TRUE(conn.valid());
+    // Header promising 100 bytes, then half the payload, then gone.
+    const std::string frame = encode_frame(std::string(100, 'z'));
+    ASSERT_TRUE(conn.send_all(frame.data(), frame.size() - 50));
+    conn.close();
+  });
+
+  auto connected = TcpSocket::connect_to("127.0.0.1", listener.port());
+  ASSERT_TRUE(connected.ok()) << connected.error;
+  std::string payload, error;
+  EXPECT_FALSE(read_frame(connected.socket, payload, error));
+  EXPECT_NE(error.find("truncated"), std::string::npos) << error;
+  server.join();
+}
+
+TEST(FrameSocket, CleanEofBetweenFramesHasEmptyError) {
+  auto listening = TcpListener::listen_on(0);
+  ASSERT_TRUE(listening.ok()) << listening.error;
+  TcpListener listener = std::move(listening.listener);
+
+  std::thread server([&] {
+    TcpSocket conn = listener.accept_one();
+    ASSERT_TRUE(conn.valid());
+    conn.close();  // No frames at all: orderly goodbye.
+  });
+
+  auto connected = TcpSocket::connect_to("127.0.0.1", listener.port());
+  ASSERT_TRUE(connected.ok()) << connected.error;
+  std::string payload;
+  std::string error = "sentinel";
+  EXPECT_FALSE(read_frame(connected.socket, payload, error));
+  EXPECT_TRUE(error.empty()) << error;
+  server.join();
+}
+
+}  // namespace
+}  // namespace adaptbf
