@@ -167,8 +167,8 @@ void BM_SimulatorHeapChurn(benchmark::State& state) {
   std::int64_t t = 0;
   for (auto _ : state) {
     ++t;
-    const EventId id = sim.schedule_at(SimTime(t), [] {});
-    benchmark::DoNotOptimize(id);
+    const EventHandle handle = sim.schedule_at(SimTime(t), [] {});
+    benchmark::DoNotOptimize(handle);
     sim.run_until(SimTime(t));
   }
   state.SetItemsProcessed(state.iterations());

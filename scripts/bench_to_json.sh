@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# Wraps a "key value"-per-line bench run into a machine-readable JSON
+# document, so every CI run records a BENCH_*.json point on the repo's
+# perf trajectory.
+#
+#   Usage: bench_to_json.sh <bench-binary> [bench args...] > BENCH_foo.json
+#
+# The bench's exit code is propagated (sim_core_bench --require-zero-alloc
+# exits non-zero when the allocation-free contract is broken), so wiring
+# this into CI both records the numbers and enforces the contract.
+set -euo pipefail
+
+if [ "$#" -lt 1 ]; then
+  echo "usage: $0 <bench-binary> [bench args...]" >&2
+  exit 2
+fi
+
+bin=$1
+shift
+name=$(basename "$bin")
+
+out=$("$bin" "$@")
+
+git_rev=$(git rev-parse --short HEAD 2>/dev/null || echo unknown)
+timestamp=$(date -u +%FT%TZ)
+
+{
+  printf '{\n'
+  printf '  "bench": "%s",\n' "$name"
+  printf '  "git_rev": "%s",\n' "$git_rev"
+  printf '  "timestamp": "%s",\n' "$timestamp"
+  printf '  "args": "%s",\n' "$*"
+  first=1
+  while read -r key value; do
+    [ -n "$key" ] || continue
+    if [ "$first" -eq 0 ]; then
+      printf ',\n'
+    fi
+    first=0
+    printf '  "%s": %s' "$key" "$value"
+  done <<<"$out"
+  printf '\n}\n'
+}

@@ -124,9 +124,12 @@ void GiftController::tick() {
               [](const auto& a, const auto& b) { return a.job < b.job; });
 
     if (apply_latency > SimDuration(0)) {
-      sim_.schedule_after(apply_latency, [this, t, window] {
-        daemons_[t].apply(window, sim_.now());
-      });
+      // The window is dead after this iteration: move it into the deferred
+      // apply event instead of copying the allocation vector.
+      sim_.schedule_after(apply_latency,
+                          [this, t, window = std::move(window)] {
+                            daemons_[t].apply(window, sim_.now());
+                          });
     } else {
       daemons_[t].apply(window, now);
     }

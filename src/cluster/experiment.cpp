@@ -53,6 +53,12 @@ ExperimentResult run_experiment(const ScenarioSpec& spec,
   ADAPTBF_CHECK(spec.num_osts > 0);
 
   Simulator sim;
+  // One event arena serves the whole trial: pre-size it so steady-state
+  // scheduling never grows the pool. Concurrent pending events are bounded
+  // by inflight RPCs + one wakeup/completion/periodic per component, far
+  // below this.
+  sim.reserve_events(4096);
+  if (options.dispatch_hook) sim.set_dispatch_hook(options.dispatch_hook);
 
   // --- Server: OSS hosting num_osts OSTs, one scheduler each ---
   Oss::Config oss_config;

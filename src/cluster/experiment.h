@@ -7,12 +7,14 @@
 // CloudLab run in §IV.
 #pragma once
 
+#include <algorithm>
 #include <string>
 #include <vector>
 
 #include "adaptbf/allocation_types.h"
 #include "metrics/latency_stats.h"
 #include "metrics/throughput_timeline.h"
+#include "sim/simulator.h"
 #include "workload/scenario.h"
 
 namespace adaptbf {
@@ -50,10 +52,12 @@ struct ExperimentResult {
 
   std::uint64_t events_dispatched = 0;
 
+  /// Binary search over the id-sorted `jobs` vector.
   [[nodiscard]] const JobSummary* find_job(JobId id) const {
-    for (const auto& j : jobs)
-      if (j.id == id) return &j;
-    return nullptr;
+    const auto it = std::lower_bound(
+        jobs.begin(), jobs.end(), id,
+        [](const JobSummary& summary, JobId key) { return summary.id < key; });
+    return it != jobs.end() && it->id == id ? &*it : nullptr;
   }
 
   /// (JobId, name) pairs in ascending id order — the labels argument the
@@ -65,6 +69,17 @@ struct ExperimentOptions {
   /// Record every WindowResult (memory ~ jobs x windows). On for figure
   /// benches, off for sweeps that only need summaries.
   bool capture_allocation_trace = true;
+  /// Forwarded to Simulator::set_dispatch_hook: observes every dispatched
+  /// event as (fire time, schedule sequence). Used by the golden-trace
+  /// tests that pin the exact dispatch order of the paper scenarios.
+  Simulator::DispatchHook dispatch_hook;
+
+  /// Sweep default: summaries only, no per-window trace.
+  [[nodiscard]] static ExperimentOptions without_trace() {
+    ExperimentOptions options;
+    options.capture_allocation_trace = false;
+    return options;
+  }
 };
 
 /// Runs one scenario to its horizon. Deterministic: equal specs give

@@ -50,14 +50,10 @@ void Ost::pump() {
   if (scheduler_->backlog() > 0 && busy_threads_ < config_.num_threads) {
     const SimTime ready = scheduler_->next_ready_time(now);
     if (ready < SimTime::max()) {
-      if (has_wakeup_ && wakeup_time_ <= ready) return;  // already armed
-      if (has_wakeup_) sim_.cancel(wakeup_event_);
+      if (sim_.pending(wakeup_) && wakeup_time_ <= ready) return;  // armed
+      sim_.cancel(wakeup_);  // stale handles are ignored in O(1)
       wakeup_time_ = std::max(ready, now);
-      wakeup_event_ = sim_.schedule_at(wakeup_time_, [this] {
-        has_wakeup_ = false;
-        pump();
-      });
-      has_wakeup_ = true;
+      wakeup_ = sim_.schedule_at(wakeup_time_, [this] { pump(); });
     }
   }
 }

@@ -84,8 +84,9 @@ class Ost {
   std::uint32_t busy_threads_ = 0;
   std::uint64_t completed_ = 0;
   std::uint64_t completed_bytes_ = 0;
-  EventId wakeup_event_ = 0;
-  bool has_wakeup_ = false;
+  /// Pending scheduler wakeup; goes stale automatically once it fires, so
+  /// no companion "armed" flag is needed.
+  EventHandle wakeup_;
   SimTime wakeup_time_;
 };
 

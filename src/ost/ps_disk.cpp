@@ -34,10 +34,7 @@ void PsDisk::advance_to(SimTime now) {
 }
 
 void PsDisk::arm_completion() {
-  if (has_pending_event_) {
-    sim_.cancel(pending_event_);
-    has_pending_event_ = false;
-  }
+  sim_.cancel(pending_event_);  // no-op when unarmed or already fired
   if (active_.empty()) return;
   double min_remaining = -1.0;
   for (const auto& [tag, transfer] : active_)
@@ -48,11 +45,9 @@ void PsDisk::arm_completion() {
   const auto wait =
       SimDuration(static_cast<std::int64_t>(std::ceil(wait_sec * 1e9)));
   pending_event_ = sim_.schedule_after(wait, [this] { on_completion(); });
-  has_pending_event_ = true;
 }
 
 void PsDisk::on_completion() {
-  has_pending_event_ = false;
   advance_to(sim_.now());
   // Collect everything done; ties resolve in admission order.
   std::vector<std::pair<std::uint64_t, std::uint64_t>> done;  // (seq, tag)

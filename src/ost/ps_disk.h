@@ -51,8 +51,8 @@ class PsDisk {
   double work_completed_ = 0.0;
   std::map<std::uint64_t, Transfer> active_;  // ordered => deterministic scan
   SimTime last_update_;
-  EventId pending_event_ = 0;
-  bool has_pending_event_ = false;
+  /// Armed completion event; stale (and safely cancellable) once fired.
+  EventHandle pending_event_;
   std::uint64_t admit_counter_ = 0;
 };
 

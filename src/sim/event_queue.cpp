@@ -6,71 +6,119 @@
 
 namespace adaptbf {
 
-EventId EventQueue::schedule(SimTime when, EventFn fn) {
-  ADAPTBF_CHECK_MSG(fn != nullptr, "cannot schedule a null event");
-  const EventId id = next_seq_++;
-  heap_.push_back(Entry{when, id, std::move(fn)});
-  pending_.insert(id);
-  sift_up(heap_.size() - 1);
-  return id;
+std::uint32_t EventQueue::acquire_slot() {
+  if (free_head_ != kNil) {
+    const std::uint32_t index = free_head_;
+    free_head_ = slots_[index].pos_or_next;
+    return index;
+  }
+  ADAPTBF_CHECK_MSG(slots_.size() < EventHandle::kInvalidIndex,
+                    "event slot pool exhausted");
+  if (slots_.size() == slots_.capacity()) ++stats_.pool_reallocations;
+  slots_.emplace_back();
+  return static_cast<std::uint32_t>(slots_.size() - 1);
 }
 
-bool EventQueue::cancel(EventId id) {
-  if (!pending_.contains(id) || cancelled_.contains(id)) return false;
-  cancelled_.insert(id);
+void EventQueue::release_slot(std::uint32_t index) {
+  Slot& slot = slots_[index];
+  ++slot.generation;  // stale-ify every outstanding handle
+  slot.fn = EventCallback();
+  slot.pos_or_next = free_head_;
+  free_head_ = index;
+}
+
+EventHandle EventQueue::schedule(SimTime when, EventCallback fn) {
+  ADAPTBF_CHECK_MSG(static_cast<bool>(fn), "cannot schedule a null event");
+  const std::uint32_t index = acquire_slot();
+  Slot& slot = slots_[index];
+  slot.time = when;
+  slot.seq = next_seq_++;
+  slot.fn = std::move(fn);
+  if (heap_.size() == heap_.capacity()) ++stats_.pool_reallocations;
+  heap_.push_back(index);
+  slot.pos_or_next = static_cast<std::uint32_t>(heap_.size() - 1);
+  sift_up(heap_.size() - 1);
+  ++stats_.scheduled;
+  return EventHandle{index, slot.generation};
+}
+
+bool EventQueue::cancel(EventHandle handle) {
+  if (!pending(handle)) return false;
+  remove_heap_at(slots_[handle.index].pos_or_next);
+  release_slot(handle.index);
+  ++stats_.cancelled;
   return true;
 }
 
-void EventQueue::drop_cancelled_top() {
-  while (!heap_.empty() && cancelled_.contains(heap_.front().seq)) {
-    cancelled_.erase(heap_.front().seq);
-    pending_.erase(heap_.front().seq);
-    heap_.front() = std::move(heap_.back());
-    heap_.pop_back();
-    if (!heap_.empty()) sift_down(0);
-  }
-}
-
-SimTime EventQueue::next_time() {
-  drop_cancelled_top();
-  return heap_.empty() ? SimTime::max() : heap_.front().time;
-}
-
 EventQueue::Fired EventQueue::pop() {
-  drop_cancelled_top();
   ADAPTBF_CHECK_MSG(!heap_.empty(), "pop() on empty event queue");
-  Fired fired{heap_.front().time, heap_.front().seq,
-              std::move(heap_.front().fn)};
-  pending_.erase(fired.id);
-  heap_.front() = std::move(heap_.back());
-  heap_.pop_back();
-  if (!heap_.empty()) sift_down(0);
+  const std::uint32_t index = heap_[0];
+  Slot& slot = slots_[index];
+  Fired fired{slot.time, slot.seq, std::move(slot.fn)};
+  remove_heap_at(0);
+  release_slot(index);
+  ++stats_.fired;
   return fired;
 }
 
-void EventQueue::sift_up(std::size_t i) {
-  const Later later;
-  while (i > 0) {
-    const std::size_t parent = (i - 1) / 2;
-    if (!later(heap_[parent], heap_[i])) break;
-    std::swap(heap_[parent], heap_[i]);
-    i = parent;
+void EventQueue::reserve(std::size_t events) {
+  slots_.reserve(events);
+  heap_.reserve(events);
+}
+
+void EventQueue::remove_heap_at(std::size_t pos) {
+  const std::size_t last = heap_.size() - 1;
+  if (pos != last) {
+    heap_[pos] = heap_[last];
+    slots_[heap_[pos]].pos_or_next = static_cast<std::uint32_t>(pos);
+  }
+  heap_.pop_back();
+  if (pos < heap_.size()) {
+    // The relocated element may belong either direction; one of these
+    // no-ops immediately.
+    sift_down(pos);
+    sift_up(pos);
   }
 }
 
-void EventQueue::sift_down(std::size_t i) {
-  const Later later;
-  const std::size_t n = heap_.size();
-  while (true) {
-    const std::size_t left = 2 * i + 1;
-    const std::size_t right = left + 1;
-    std::size_t smallest = i;
-    if (left < n && later(heap_[smallest], heap_[left])) smallest = left;
-    if (right < n && later(heap_[smallest], heap_[right])) smallest = right;
-    if (smallest == i) break;
-    std::swap(heap_[i], heap_[smallest]);
-    i = smallest;
+void EventQueue::sift_up(std::size_t pos) {
+  const std::uint32_t moving = heap_[pos];
+  const Slot& slot = slots_[moving];
+  while (pos > 0) {
+    const std::size_t parent = (pos - 1) / 4;
+    if (earlier(slots_[heap_[parent]], slot)) break;
+    heap_[pos] = heap_[parent];
+    slots_[heap_[pos]].pos_or_next = static_cast<std::uint32_t>(pos);
+    pos = parent;
   }
+  heap_[pos] = moving;
+  slots_[moving].pos_or_next = static_cast<std::uint32_t>(pos);
+}
+
+void EventQueue::sift_down(std::size_t pos) {
+  const std::size_t n = heap_.size();
+  const std::uint32_t moving = heap_[pos];
+  const Slot& slot = slots_[moving];
+  while (true) {
+    const std::size_t first = 4 * pos + 1;
+    if (first >= n) break;
+    const std::size_t limit = first + 4 < n ? first + 4 : n;
+    std::size_t best = first;
+    const Slot* best_slot = &slots_[heap_[first]];
+    for (std::size_t child = first + 1; child < limit; ++child) {
+      const Slot* child_slot = &slots_[heap_[child]];
+      if (earlier(*child_slot, *best_slot)) {
+        best = child;
+        best_slot = child_slot;
+      }
+    }
+    if (!earlier(*best_slot, slot)) break;
+    heap_[pos] = heap_[best];
+    slots_[heap_[pos]].pos_or_next = static_cast<std::uint32_t>(pos);
+    pos = best;
+  }
+  heap_[pos] = moving;
+  slots_[moving].pos_or_next = static_cast<std::uint32_t>(pos);
 }
 
 }  // namespace adaptbf

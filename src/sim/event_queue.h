@@ -1,72 +1,219 @@
 // Pending-event set for the discrete-event simulator.
 //
-// A binary min-heap keyed on (time, sequence). The sequence number breaks
-// ties in insertion order, which makes event processing fully deterministic
-// regardless of heap internals — a requirement for reproducible experiments
-// and for the regression tests that assert exact token allocations.
+// Allocation-free core: events live in a slab of pooled slots addressed by
+// {index, generation} handles, ordered by a 4-ary implicit min-heap keyed
+// on (time, sequence). The sequence number breaks ties in insertion order,
+// which makes event processing fully deterministic regardless of heap
+// internals — a requirement for reproducible experiments and for the
+// regression tests that assert exact token allocations.
 //
-// Cancellation is lazy: cancelled ids go into a tombstone set and are
-// discarded when they reach the top of the heap.
+// Cancellation is eager and O(log4 n) with no hash sets: the slot's
+// back-pointer into the heap locates the entry directly, and the slot's
+// generation counter is bumped on release so stale handles (fired or
+// already-cancelled events) are rejected in O(1). Steady-state scheduling
+// performs zero heap allocations: slots are recycled through a free list,
+// and EventCallback stores small callables inline (see kInlineCapacity),
+// falling back to the heap only for oversized captures.
 #pragma once
 
+#include <atomic>
+#include <cstddef>
 #include <cstdint>
-#include <functional>
-#include <unordered_set>
+#include <new>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "sim/time.h"
 
 namespace adaptbf {
 
-using EventId = std::uint64_t;
-using EventFn = std::function<void()>;
+/// Move-only callable with small-buffer optimization. Replaces
+/// std::function in the event hot path: any callable whose captures fit
+/// kInlineCapacity bytes (and is nothrow-movable) is stored inline in the
+/// event slot, so scheduling it allocates nothing.
+class EventCallback {
+ public:
+  /// Sized to hold every steady-state callback in the simulator inline
+  /// (the largest is an RPC completion: Rpc + two SimTimes + a pointer).
+  static constexpr std::size_t kInlineCapacity = 80;
+
+  EventCallback() = default;
+
+  template <typename F>
+    requires(!std::is_same_v<std::remove_cvref_t<F>, EventCallback> &&
+             std::is_invocable_r_v<void, std::remove_cvref_t<F>&>)
+  // NOLINTNEXTLINE(google-explicit-constructor): implicit like std::function.
+  EventCallback(F&& fn) {
+    using Fn = std::remove_cvref_t<F>;
+    if constexpr (sizeof(Fn) <= kInlineCapacity &&
+                  alignof(Fn) <= alignof(std::max_align_t) &&
+                  std::is_nothrow_move_constructible_v<Fn>) {
+      ::new (static_cast<void*>(storage_)) Fn(std::forward<F>(fn));
+      ops_ = &kInlineOps<Fn>;
+    } else {
+      ::new (static_cast<void*>(storage_)) Fn*(new Fn(std::forward<F>(fn)));
+      ops_ = &kHeapOps<Fn>;
+      heap_fallbacks_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  EventCallback(EventCallback&& other) noexcept : ops_(other.ops_) {
+    if (ops_ != nullptr) ops_->relocate(storage_, other.storage_);
+    other.ops_ = nullptr;
+  }
+
+  EventCallback& operator=(EventCallback&& other) noexcept {
+    if (this != &other) {
+      if (ops_ != nullptr) ops_->destroy(storage_);
+      ops_ = other.ops_;
+      if (ops_ != nullptr) ops_->relocate(storage_, other.storage_);
+      other.ops_ = nullptr;
+    }
+    return *this;
+  }
+
+  EventCallback(const EventCallback&) = delete;
+  EventCallback& operator=(const EventCallback&) = delete;
+
+  ~EventCallback() {
+    if (ops_ != nullptr) ops_->destroy(storage_);
+  }
+
+  void operator()() { ops_->invoke(storage_); }
+
+  [[nodiscard]] explicit operator bool() const { return ops_ != nullptr; }
+
+  /// Process-wide count of callables that spilled to the heap because their
+  /// captures exceeded kInlineCapacity. The sim-core bench asserts this
+  /// stays flat in steady state.
+  [[nodiscard]] static std::uint64_t heap_fallbacks() {
+    return heap_fallbacks_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Ops {
+    void (*invoke)(void* storage);
+    /// Move-constructs dst from src, then destroys src (nothrow).
+    void (*relocate)(void* dst, void* src);
+    void (*destroy)(void* storage);
+  };
+
+  template <typename Fn>
+  static constexpr Ops kInlineOps{
+      [](void* storage) { (*std::launder(reinterpret_cast<Fn*>(storage)))(); },
+      [](void* dst, void* src) {
+        Fn* from = std::launder(reinterpret_cast<Fn*>(src));
+        ::new (dst) Fn(std::move(*from));
+        from->~Fn();
+      },
+      [](void* storage) { std::launder(reinterpret_cast<Fn*>(storage))->~Fn(); }};
+
+  template <typename Fn>
+  static constexpr Ops kHeapOps{
+      [](void* storage) { (**std::launder(reinterpret_cast<Fn**>(storage)))(); },
+      [](void* dst, void* src) {
+        ::new (dst) Fn*(*std::launder(reinterpret_cast<Fn**>(src)));
+      },
+      [](void* storage) { delete *std::launder(reinterpret_cast<Fn**>(storage)); }};
+
+  alignas(std::max_align_t) unsigned char storage_[kInlineCapacity];
+  const Ops* ops_ = nullptr;
+
+  static inline std::atomic<std::uint64_t> heap_fallbacks_{0};
+};
+
+/// Generation-tagged reference to a pending event. Handles become stale the
+/// moment the event fires or is cancelled (the slot's generation is bumped
+/// on release), so holding one past its event's lifetime is always safe:
+/// cancel()/pending() on a stale handle are harmless O(1) no-ops.
+struct EventHandle {
+  static constexpr std::uint32_t kInvalidIndex = 0xffffffffu;
+
+  std::uint32_t index = kInvalidIndex;
+  /// 64-bit so a recycled slot can never wrap back to a stale handle's
+  /// generation, even over arbitrarily deep simulation horizons.
+  std::uint64_t generation = 0;
+
+  [[nodiscard]] constexpr bool valid() const { return index != kInvalidIndex; }
+};
 
 class EventQueue {
  public:
-  /// Schedules `fn` at absolute time `when`. Returns an id usable by cancel().
-  EventId schedule(SimTime when, EventFn fn);
+  /// Schedules `fn` at absolute time `when`. Returns a handle usable by
+  /// cancel()/pending(); the handle goes stale once the event fires.
+  EventHandle schedule(SimTime when, EventCallback fn);
 
-  /// Cancels a pending event. Returns false if the event already fired or
-  /// was already cancelled.
-  bool cancel(EventId id);
+  /// Cancels a pending event in O(log4 n) with no hashing. Returns false
+  /// if the handle is stale (event already fired or already cancelled).
+  bool cancel(EventHandle handle);
 
-  [[nodiscard]] bool empty() const { return live() == 0; }
-  [[nodiscard]] std::size_t live() const {
-    return heap_.size() - cancelled_.size();
+  /// True while the referenced event is still pending.
+  [[nodiscard]] bool pending(EventHandle handle) const {
+    return handle.valid() && handle.index < slots_.size() &&
+           slots_[handle.index].generation == handle.generation;
   }
 
-  /// Time of the earliest live event; SimTime::max() when empty.
-  [[nodiscard]] SimTime next_time();
+  [[nodiscard]] bool empty() const { return heap_.empty(); }
+  [[nodiscard]] std::size_t live() const { return heap_.size(); }
+
+  /// Time of the earliest pending event; SimTime::max() when empty. O(1).
+  [[nodiscard]] SimTime next_time() const {
+    return heap_.empty() ? SimTime::max() : slots_[heap_[0]].time;
+  }
 
   struct Fired {
     SimTime time;
-    EventId id;
-    EventFn fn;
+    std::uint64_t seq;  ///< Schedule-order sequence number (tie-break key).
+    EventCallback fn;
   };
-  /// Pops and returns the earliest live event. Requires !empty().
+  /// Pops and returns the earliest pending event. Requires !empty().
   Fired pop();
 
+  /// Pre-sizes the slot pool and heap so a workload of up to `events`
+  /// concurrent events runs without any further allocation.
+  void reserve(std::size_t events);
+
+  struct Stats {
+    std::uint64_t scheduled = 0;
+    std::uint64_t fired = 0;
+    std::uint64_t cancelled = 0;
+    /// Times the slot pool or heap storage had to grow. Flat in steady
+    /// state: slots are recycled through the free list.
+    std::uint64_t pool_reallocations = 0;
+  };
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+  [[nodiscard]] std::size_t pool_slots() const { return slots_.size(); }
+
  private:
-  struct Entry {
+  static constexpr std::uint32_t kNil = EventHandle::kInvalidIndex;
+
+  struct Slot {
     SimTime time;
-    EventId seq;
-    EventFn fn;
-  };
-  struct Later {
-    bool operator()(const Entry& a, const Entry& b) const {
-      if (a.time != b.time) return a.time > b.time;
-      return a.seq > b.seq;
-    }
+    std::uint64_t seq = 0;
+    EventCallback fn;
+    std::uint64_t generation = 0;
+    /// Position in heap_ while pending; next free slot index while free.
+    std::uint32_t pos_or_next = kNil;
   };
 
-  void sift_up(std::size_t i);
-  void sift_down(std::size_t i);
-  void drop_cancelled_top();
+  /// True when event `a` must fire strictly before `b`.
+  [[nodiscard]] bool earlier(const Slot& a, const Slot& b) const {
+    if (a.time != b.time) return a.time < b.time;
+    return a.seq < b.seq;
+  }
 
-  std::vector<Entry> heap_;
-  std::unordered_set<EventId> cancelled_;
-  std::unordered_set<EventId> pending_;  // ids currently in the heap
-  EventId next_seq_ = 0;
+  std::uint32_t acquire_slot();
+  void release_slot(std::uint32_t index);
+  void remove_heap_at(std::size_t pos);
+  void sift_up(std::size_t pos);
+  void sift_down(std::size_t pos);
+
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> heap_;  // 4-ary implicit heap of slot indices
+  std::uint32_t free_head_ = kNil;
+  std::uint64_t next_seq_ = 0;
+  Stats stats_;
 };
 
 }  // namespace adaptbf

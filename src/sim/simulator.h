@@ -6,10 +6,17 @@
 // (time, insertion) order. Single-threaded by design: an HPC storage server
 // simulation at this granularity is dominated by event dispatch, and
 // determinism is worth more than parallel speedup for reproducing figures.
+//
+// Periodic timers live in their own slot pool: each tick re-arms through a
+// tiny {index, generation} trampoline and calls the stored callback in
+// place, so a periodic costs zero heap allocations per period — the old
+// design copied a std::function every tick.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
-#include <unordered_map>
+#include <functional>
+#include <vector>
 
 #include "sim/event_queue.h"
 #include "sim/time.h"
@@ -21,21 +28,30 @@ class Simulator {
   [[nodiscard]] SimTime now() const { return now_; }
 
   /// Schedules `fn` at absolute time `when`; `when` must not be in the past.
-  EventId schedule_at(SimTime when, EventFn fn);
+  EventHandle schedule_at(SimTime when, EventCallback fn);
 
   /// Schedules `fn` after a non-negative delay from now().
-  EventId schedule_after(SimDuration delay, EventFn fn);
+  EventHandle schedule_after(SimDuration delay, EventCallback fn);
 
-  /// Schedules `fn` every `period`, first firing at now() + period, until
-  /// the returned handle is cancelled via cancel_periodic(). The callback
-  /// runs before the next period is armed, so a callback may cancel itself.
+  /// Schedules `fn` every `period` (must be strictly positive — a zero
+  /// period would re-arm at the same timestamp forever), first firing at
+  /// now() + period, until the returned handle is cancelled via
+  /// cancel_periodic(). The callback runs before the next period is armed,
+  /// so a callback may cancel itself.
   struct PeriodicHandle {
-    std::uint64_t key = 0;
+    std::uint32_t index = EventHandle::kInvalidIndex;
+    std::uint64_t generation = 0;
   };
-  PeriodicHandle schedule_periodic(SimDuration period, EventFn fn);
+  PeriodicHandle schedule_periodic(SimDuration period, EventCallback fn);
   void cancel_periodic(PeriodicHandle handle);
 
-  bool cancel(EventId id) { return queue_.cancel(id); }
+  bool cancel(EventHandle handle) { return queue_.cancel(handle); }
+
+  /// True while the referenced one-shot event is still pending; stale
+  /// handles (fired/cancelled) answer false in O(1).
+  [[nodiscard]] bool pending(EventHandle handle) const {
+    return queue_.pending(handle);
+  }
 
   /// Runs all events with time <= deadline; clock ends at exactly deadline.
   void run_until(SimTime deadline);
@@ -46,19 +62,44 @@ class Simulator {
   [[nodiscard]] std::uint64_t events_dispatched() const { return dispatched_; }
   [[nodiscard]] bool idle() const { return queue_.empty(); }
 
+  /// Pre-sizes the event arena: a workload with at most `events` concurrent
+  /// pending events then runs allocation-free for the simulator's lifetime.
+  void reserve_events(std::size_t events) { queue_.reserve(events); }
+
+  [[nodiscard]] const EventQueue::Stats& queue_stats() const {
+    return queue_.stats();
+  }
+  [[nodiscard]] std::size_t event_pool_slots() const {
+    return queue_.pool_slots();
+  }
+
+  /// Observer called once per dispatched event with (fire time, sequence
+  /// number), before the callback runs. The sequence number is assigned in
+  /// schedule order, so the stream of (time, seq) pairs pins the exact
+  /// dispatch order — the determinism contract the golden-trace tests hash.
+  using DispatchHook = std::function<void(SimTime, std::uint64_t)>;
+  void set_dispatch_hook(DispatchHook hook) { dispatch_hook_ = std::move(hook); }
+
  private:
-  struct Periodic {
+  struct PeriodicSlot {
     SimDuration period;
-    EventFn fn;
-    bool cancelled = false;
+    EventCallback fn;
+    EventHandle armed;  ///< The pending tick event (stale while firing).
+    std::uint64_t generation = 0;
+    std::uint32_t next_free = EventHandle::kInvalidIndex;
+    bool live = false;
   };
-  void arm_periodic(std::uint64_t key);
+
+  void arm_periodic(std::uint32_t index, std::uint64_t generation);
+  void fire_periodic(std::uint32_t index, std::uint64_t generation);
+  void dispatch(EventQueue::Fired& fired);
 
   EventQueue queue_;
   SimTime now_ = SimTime::zero();
   std::uint64_t dispatched_ = 0;
-  std::uint64_t next_periodic_key_ = 1;
-  std::unordered_map<std::uint64_t, Periodic> periodics_;
+  DispatchHook dispatch_hook_;
+  std::vector<PeriodicSlot> periodics_;
+  std::uint32_t periodic_free_head_ = EventHandle::kInvalidIndex;
 };
 
 }  // namespace adaptbf

@@ -60,7 +60,7 @@ class SweepRunner {
     /// Per-trial experiment options. The allocation trace defaults OFF for
     /// sweeps (memory ~ jobs x windows x trials would be unbounded on a
     /// campaign; summaries carry everything the aggregator needs).
-    ExperimentOptions experiment{.capture_allocation_trace = false};
+    ExperimentOptions experiment = ExperimentOptions::without_trace();
     /// Called after each trial completes, serialized under a mutex.
     /// `completed` counts finished trials, not the finished trial's index.
     std::function<void(std::size_t completed, std::size_t total,

@@ -1,0 +1,104 @@
+// Randomized model test: the pooled/generation-tagged EventQueue must be
+// observationally identical to a trivial reference implementation — a
+// std::multimap keyed on fire time, which (since C++11) preserves insertion
+// order among equal keys, i.e. exactly the (time, sequence) contract.
+//
+// 10k mixed schedule/cancel/pop operations per seed, asserting identical
+// fire order, live() counts, and cancel() verdicts throughout.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "sim/event_queue.h"
+#include "support/random.h"
+
+namespace adaptbf {
+namespace {
+
+struct ModelEvent {
+  EventHandle handle;
+  std::multimap<std::int64_t, std::uint64_t>::iterator oracle_it;
+  bool alive = false;
+};
+
+void run_model(std::uint64_t seed, int operations) {
+  Xoshiro256 rng(seed);
+  EventQueue queue;
+  std::multimap<std::int64_t, std::uint64_t> oracle;  // time -> token
+  std::vector<ModelEvent> events;  // every event ever scheduled
+  std::vector<std::uint64_t> fired;
+  std::uint64_t next_token = 0;
+
+  for (int op = 0; op < operations; ++op) {
+    const std::uint64_t roll = rng.next_in(0, 99);
+    if (roll < 50 || queue.empty()) {
+      // Schedule at a clustered time so ties are frequent.
+      const auto when = static_cast<std::int64_t>(rng.next_in(0, 499));
+      const std::uint64_t token = next_token++;
+      ModelEvent event;
+      event.handle =
+          queue.schedule(SimTime(when), [&fired, token] { fired.push_back(token); });
+      event.oracle_it = oracle.emplace(when, token);
+      event.alive = true;
+      events.push_back(event);
+    } else if (roll < 75) {
+      // Cancel a random historical event — often already fired or already
+      // cancelled, so stale-handle rejection is exercised constantly.
+      ModelEvent& event =
+          events[rng.next_in(0, events.size() - 1)];
+      const bool cancelled = queue.cancel(event.handle);
+      ASSERT_EQ(cancelled, event.alive) << "cancel verdict diverged at op " << op;
+      if (event.alive) {
+        oracle.erase(event.oracle_it);
+        event.alive = false;
+      }
+    } else {
+      // Pop: compare against the oracle's front (begin() of the multimap).
+      ASSERT_FALSE(oracle.empty());
+      const auto expected = oracle.begin();
+      auto popped = queue.pop();
+      ASSERT_EQ(popped.time.ns(), expected->first)
+          << "fire time diverged at op " << op;
+      const std::size_t before = fired.size();
+      popped.fn();
+      ASSERT_EQ(fired.size(), before + 1);
+      ASSERT_EQ(fired.back(), expected->second)
+          << "fire order diverged at op " << op;
+      // The popped event's entry is dead now.
+      for (auto& event : events) {
+        if (event.alive && event.oracle_it == expected) {
+          event.alive = false;
+          ASSERT_FALSE(queue.pending(event.handle));
+          break;
+        }
+      }
+      oracle.erase(expected);
+    }
+    ASSERT_EQ(queue.live(), oracle.size()) << "live() diverged at op " << op;
+    ASSERT_EQ(queue.empty(), oracle.empty());
+    ASSERT_EQ(queue.next_time(),
+              oracle.empty() ? SimTime::max() : SimTime(oracle.begin()->first));
+  }
+
+  // Drain: the remaining fire order must match the oracle exactly.
+  while (!oracle.empty()) {
+    const auto expected = oracle.begin();
+    auto popped = queue.pop();
+    ASSERT_EQ(popped.time.ns(), expected->first);
+    popped.fn();
+    ASSERT_EQ(fired.back(), expected->second);
+    oracle.erase(expected);
+  }
+  ASSERT_TRUE(queue.empty());
+}
+
+TEST(EventQueueModel, TenThousandMixedOperations) { run_model(0x5eed, 10000); }
+
+TEST(EventQueueModel, MoreSeeds) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) run_model(seed, 2000);
+}
+
+}  // namespace
+}  // namespace adaptbf

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
+#include <cstdint>
+#include <memory>
 #include <vector>
 
 namespace adaptbf {
@@ -35,52 +38,144 @@ TEST(EventQueue, TiesBreakByInsertionOrder) {
 TEST(EventQueue, CancelPreventsFiring) {
   EventQueue queue;
   bool fired = false;
-  const EventId id = queue.schedule(SimTime(10), [&] { fired = true; });
-  EXPECT_TRUE(queue.cancel(id));
+  const EventHandle handle = queue.schedule(SimTime(10), [&] { fired = true; });
+  EXPECT_TRUE(queue.cancel(handle));
   EXPECT_TRUE(queue.empty());
   EXPECT_FALSE(fired);
 }
 
 TEST(EventQueue, CancelTwiceFails) {
   EventQueue queue;
-  const EventId id = queue.schedule(SimTime(10), [] {});
-  EXPECT_TRUE(queue.cancel(id));
-  EXPECT_FALSE(queue.cancel(id));
+  const EventHandle handle = queue.schedule(SimTime(10), [] {});
+  EXPECT_TRUE(queue.cancel(handle));
+  EXPECT_FALSE(queue.cancel(handle));
 }
 
 TEST(EventQueue, CancelAfterFireFails) {
   EventQueue queue;
-  const EventId id = queue.schedule(SimTime(10), [] {});
+  const EventHandle handle = queue.schedule(SimTime(10), [] {});
   queue.pop().fn();
-  EXPECT_FALSE(queue.cancel(id));
+  EXPECT_FALSE(queue.cancel(handle));
 }
 
 TEST(EventQueue, CancelMiddleKeepsOrder) {
   EventQueue queue;
   std::vector<int> fired;
   queue.schedule(SimTime(1), [&] { fired.push_back(1); });
-  const EventId id = queue.schedule(SimTime(2), [&] { fired.push_back(2); });
+  const EventHandle handle =
+      queue.schedule(SimTime(2), [&] { fired.push_back(2); });
   queue.schedule(SimTime(3), [&] { fired.push_back(3); });
-  queue.cancel(id);
+  queue.cancel(handle);
   while (!queue.empty()) queue.pop().fn();
   EXPECT_EQ(fired, (std::vector<int>{1, 3}));
 }
 
 TEST(EventQueue, NextTimeSkipsCancelled) {
   EventQueue queue;
-  const EventId id = queue.schedule(SimTime(1), [] {});
+  const EventHandle handle = queue.schedule(SimTime(1), [] {});
   queue.schedule(SimTime(5), [] {});
-  queue.cancel(id);
+  queue.cancel(handle);
   EXPECT_EQ(queue.next_time(), SimTime(5));
 }
 
 TEST(EventQueue, LiveCountTracksCancellations) {
   EventQueue queue;
-  const EventId a = queue.schedule(SimTime(1), [] {});
+  const EventHandle a = queue.schedule(SimTime(1), [] {});
   queue.schedule(SimTime(2), [] {});
   EXPECT_EQ(queue.live(), 2u);
   queue.cancel(a);
   EXPECT_EQ(queue.live(), 1u);
+}
+
+TEST(EventQueue, DefaultHandleIsInvalid) {
+  EventQueue queue;
+  EventHandle handle;
+  EXPECT_FALSE(handle.valid());
+  EXPECT_FALSE(queue.pending(handle));
+  EXPECT_FALSE(queue.cancel(handle));
+}
+
+TEST(EventQueue, PendingTracksLifecycle) {
+  EventQueue queue;
+  const EventHandle handle = queue.schedule(SimTime(10), [] {});
+  EXPECT_TRUE(queue.pending(handle));
+  queue.pop().fn();
+  EXPECT_FALSE(queue.pending(handle));
+}
+
+TEST(EventQueue, StaleHandleAgainstReusedSlotFails) {
+  EventQueue queue;
+  const EventHandle first = queue.schedule(SimTime(10), [] {});
+  queue.pop().fn();
+  // The pool reuses the released slot; the old handle's generation is
+  // behind, so it must not cancel the new occupant.
+  const EventHandle second = queue.schedule(SimTime(20), [] {});
+  ASSERT_EQ(second.index, first.index);
+  EXPECT_NE(second.generation, first.generation);
+  EXPECT_FALSE(queue.pending(first));
+  EXPECT_FALSE(queue.cancel(first));
+  EXPECT_TRUE(queue.pending(second));
+  EXPECT_TRUE(queue.cancel(second));
+}
+
+TEST(EventQueue, SequencesAssignedInScheduleOrder) {
+  EventQueue queue;
+  queue.schedule(SimTime(30), [] {});
+  queue.schedule(SimTime(10), [] {});
+  queue.schedule(SimTime(20), [] {});
+  EXPECT_EQ(queue.pop().seq, 1u);
+  EXPECT_EQ(queue.pop().seq, 2u);
+  EXPECT_EQ(queue.pop().seq, 0u);
+}
+
+TEST(EventQueue, StatsCountOperations) {
+  EventQueue queue;
+  const EventHandle handle = queue.schedule(SimTime(1), [] {});
+  queue.schedule(SimTime(2), [] {});
+  queue.cancel(handle);
+  queue.pop().fn();
+  EXPECT_EQ(queue.stats().scheduled, 2u);
+  EXPECT_EQ(queue.stats().cancelled, 1u);
+  EXPECT_EQ(queue.stats().fired, 1u);
+}
+
+TEST(EventQueue, ReserveMakesSteadyStateAllocationFree) {
+  EventQueue queue;
+  queue.reserve(64);
+  const std::uint64_t reallocations_before = queue.stats().pool_reallocations;
+  // Churn far more events than the reservation, never exceeding 64 live.
+  for (int round = 0; round < 100; ++round) {
+    std::vector<EventHandle> handles;
+    for (int i = 0; i < 64; ++i)
+      handles.push_back(queue.schedule(SimTime(round * 100 + i), [] {}));
+    for (int i = 0; i < 32; ++i) queue.cancel(handles[static_cast<size_t>(i)]);
+    while (!queue.empty()) queue.pop().fn();
+  }
+  EXPECT_EQ(queue.stats().pool_reallocations, reallocations_before);
+  EXPECT_LE(queue.pool_slots(), 64u);
+}
+
+TEST(EventQueue, OversizedCaptureStillWorksViaHeapFallback) {
+  EventQueue queue;
+  // > kInlineCapacity bytes of captured state must still fire correctly.
+  std::array<std::uint64_t, 32> big{};
+  big[0] = 7;
+  big[31] = 9;
+  std::uint64_t sum = 0;
+  queue.schedule(SimTime(1), [big, &sum] { sum = big[0] + big[31]; });
+  queue.pop().fn();
+  EXPECT_EQ(sum, 16u);
+}
+
+TEST(EventQueue, CancelledCallbackStateIsReleased) {
+  EventQueue queue;
+  auto token = std::make_shared<int>(42);
+  std::weak_ptr<int> watch = token;
+  const EventHandle handle = queue.schedule(SimTime(1), [token] {});
+  token.reset();
+  EXPECT_FALSE(watch.expired());  // kept alive by the pending event
+  queue.cancel(handle);
+  EXPECT_TRUE(watch.expired());  // cancel destroys the captured state
 }
 
 TEST(EventQueue, StressManyRandomOrderings) {

@@ -63,8 +63,8 @@ TEST(Simulator, EventsCascade) {
 TEST(Simulator, CancelStopsEvent) {
   Simulator sim;
   bool fired = false;
-  const EventId id = sim.schedule_at(SimTime(10), [&] { fired = true; });
-  EXPECT_TRUE(sim.cancel(id));
+  const EventHandle handle = sim.schedule_at(SimTime(10), [&] { fired = true; });
+  EXPECT_TRUE(sim.cancel(handle));
   sim.run_to_completion();
   EXPECT_FALSE(fired);
 }
@@ -119,6 +119,70 @@ TEST(Simulator, CountsDispatchedEvents) {
   for (int i = 1; i <= 5; ++i) sim.schedule_at(SimTime(i), [] {});
   sim.run_to_completion();
   EXPECT_EQ(sim.events_dispatched(), 5u);
+}
+
+TEST(SimulatorDeathTest, ZeroPeriodIsRejected) {
+  // A zero period would re-arm at the same timestamp forever; the guard
+  // must fail fast instead of spinning the clock in place.
+  Simulator sim;
+  EXPECT_DEATH(sim.schedule_periodic(SimDuration(0), [] {}),
+               "period must be positive");
+}
+
+TEST(SimulatorDeathTest, NegativePeriodIsRejected) {
+  Simulator sim;
+  EXPECT_DEATH(sim.schedule_periodic(SimDuration(-5), [] {}),
+               "period must be positive");
+}
+
+TEST(Simulator, PendingReflectsEventLifecycle) {
+  Simulator sim;
+  const EventHandle handle = sim.schedule_at(SimTime(10), [] {});
+  EXPECT_TRUE(sim.pending(handle));
+  sim.run_until(SimTime(10));
+  EXPECT_FALSE(sim.pending(handle));
+  EXPECT_FALSE(sim.cancel(handle));  // stale: safely rejected
+}
+
+TEST(Simulator, CancelPeriodicWithStaleHandleIsNoOp) {
+  Simulator sim;
+  int count = 0;
+  const auto handle = sim.schedule_periodic(SimDuration(10), [&] { ++count; });
+  sim.cancel_periodic(handle);
+  sim.cancel_periodic(handle);  // second cancel must not disturb the pool
+  // A new periodic reuses the released slot; the stale handle must not be
+  // able to cancel it.
+  const auto reused = sim.schedule_periodic(SimDuration(10), [&] { ++count; });
+  ASSERT_EQ(reused.index, handle.index);
+  sim.cancel_periodic(handle);
+  sim.run_until(SimTime(35));
+  EXPECT_EQ(count, 3);
+}
+
+TEST(Simulator, PeriodicSteadyStateIsAllocationFree) {
+  Simulator sim;
+  std::uint64_t ticks = 0;
+  sim.schedule_periodic(SimDuration(10), [&] { ++ticks; });
+  sim.run_until(SimTime(100));  // warm up the pools
+  const auto warm = sim.queue_stats().pool_reallocations;
+  const auto warm_spills = EventCallback::heap_fallbacks();
+  sim.run_until(SimTime(100000));
+  EXPECT_EQ(ticks, 10000u);
+  EXPECT_EQ(sim.queue_stats().pool_reallocations, warm);
+  EXPECT_EQ(EventCallback::heap_fallbacks(), warm_spills);
+  EXPECT_LE(sim.event_pool_slots(), 2u);
+}
+
+TEST(Simulator, ManyPeriodicsReuseSlots) {
+  Simulator sim;
+  int fired = 0;
+  for (int round = 0; round < 50; ++round) {
+    const auto handle =
+        sim.schedule_periodic(SimDuration(7), [&] { ++fired; });
+    sim.run_until(sim.now() + SimDuration(21));
+    sim.cancel_periodic(handle);
+  }
+  EXPECT_EQ(fired, 150);
 }
 
 }  // namespace
