@@ -31,6 +31,14 @@
 //   $ ./sweep_cli serve --listen 7001 --output c.jsonl c.ini
 //   $ ./sweep_cli work --connect host:7001 --threads 8 c.ini   # per machine
 //
+//   # Live telemetry: poll a running coordinator's stats endpoint
+//   # (docs/observability.md) as JSON or Prometheus text, once or on a
+//   # cadence. `serve --linger SEC` keeps the endpoint up after the
+//   # campaign completes so the final totals stay readable.
+//   $ ./sweep_cli stats host:7001                 # one JSON document
+//   $ ./sweep_cli stats host:7001 --prom          # Prometheus exposition
+//   $ ./sweep_cli stats host:7001 --watch 5       # re-poll every 5 s
+//
 // Trials are independent simulations, so wall time scales down with
 // --threads while results stay bit-identical: the CSV/JSON written with
 // --threads 1 and --threads 8 match byte for byte. With --output, per-trial
@@ -39,15 +47,20 @@
 //
 // Full reference, every flag and exit code: docs/sweep_cli.md.
 #include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <exception>
 #include <fstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "metrics/sweep_export.h"
+#include "net/frame.h"
+#include "net/socket.h"
+#include "support/log.h"
 #include "support/table.h"
 #include "sweep/dispatch.h"
 #include "sweep/resume.h"
@@ -107,14 +120,18 @@ int usage(const char* argv0) {
                "          <sweep.ini> <shard.jsonl>...\n"
                "       %s serve --listen PORT --output JOURNAL.jsonl "
                "[--resume]\n"
-               "          [--lease N] [--lease-timeout SEC] [--csv PATH] "
-               "[--json PATH] <sweep.ini>\n"
+               "          [--lease N] [--lease-timeout SEC] [--linger SEC] "
+               "[--csv PATH]\n"
+               "          [--json PATH] <sweep.ini>\n"
                "       %s work --connect HOST:PORT [--threads N]\n"
                "          [--output JOURNAL.jsonl] <sweep.ini>\n"
+               "       %s stats HOST:PORT [--json | --prom] [--watch SEC]\n"
                "       %s --version\n"
+               "global: --log-level debug|info|warn|error|off (or "
+               "ADAPTBF_LOG_LEVEL)\n"
                "exit codes: 0 success, 1 runtime/campaign error, 2 usage "
                "error (docs/sweep_cli.md)\n",
-               argv0, argv0, argv0, argv0, argv0);
+               argv0, argv0, argv0, argv0, argv0, argv0);
   return 2;
 }
 
@@ -132,6 +149,19 @@ int bad_number(const char* argv0, const char* flag, const char* expected,
                const char* value) {
   return usage_error(argv0, std::string(flag) + " needs " + expected +
                                 ", got '" + value + "'");
+}
+
+/// HOST:PORT -> parts. Strict: a missing, zero, or out-of-range port (or
+/// a bare host) is a usage error at the call site, never a default.
+bool parse_endpoint(const std::string& endpoint, std::string& host,
+                    std::uint32_t& port) {
+  const std::size_t colon = endpoint.rfind(':');
+  if (colon == std::string::npos || colon == 0) return false;
+  if (!parse_u32_arg(endpoint.c_str() + colon + 1, port) || port == 0 ||
+      port > 0xffff)
+    return false;
+  host = endpoint.substr(0, colon);
+  return true;
 }
 
 int print_version() {
@@ -279,6 +309,7 @@ int run_serve(int argc, char** argv) {
   bool port_given = false;
   std::uint32_t lease_size = 16;
   std::uint32_t lease_timeout_s = 30;
+  std::uint32_t linger_s = 0;
   bool resume = false;
   const char* csv_path = nullptr;
   const char* json_path = nullptr;
@@ -295,6 +326,9 @@ int run_serve(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--lease-timeout") == 0 && i + 1 < argc) {
       if (!parse_u32_arg(argv[++i], lease_timeout_s) || lease_timeout_s == 0)
         return bad_number(argv[0], "--lease-timeout", "a positive number of seconds", argv[i]);
+    } else if (std::strcmp(argv[i], "--linger") == 0 && i + 1 < argc) {
+      if (!parse_u32_arg(argv[++i], linger_s))
+        return bad_number(argv[0], "--linger", "a number of seconds", argv[i]);
     } else if (std::strcmp(argv[i], "--csv") == 0 && i + 1 < argc) {
       csv_path = argv[++i];
     } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
@@ -337,8 +371,35 @@ int run_serve(int argc, char** argv) {
   options.port = static_cast<std::uint16_t>(port);
   options.lease_size = lease_size;
   options.lease_timeout_s = lease_timeout_s;
+  options.linger_s = linger_s;
+  // Progress lines are rate-limited to one per few seconds: a fleet of
+  // fast workers would otherwise scroll one line per trial. The rate (and
+  // its ETA) counts only rows journaled by THIS serve — resumed rows are
+  // done, not throughput.
+  using ProgressClock = std::chrono::steady_clock;
+  const auto serve_start = ProgressClock::now();
+  auto last_progress = serve_start - std::chrono::hours(1);
+  std::size_t resumed_rows = 0;
+  bool first_progress = true;
   options.on_progress = [&](std::size_t done, std::size_t total) {
-    std::fprintf(stderr, "  [%zu/%zu] journaled\n", done, total);
+    if (first_progress) {
+      first_progress = false;
+      resumed_rows = done - 1;  // Everything before this serve's first row.
+    }
+    const auto now = ProgressClock::now();
+    if (done < total && now - last_progress < std::chrono::seconds(5)) return;
+    last_progress = now;
+    const double elapsed =
+        std::chrono::duration<double>(now - serve_start).count();
+    const double rate =
+        elapsed > 0 ? static_cast<double>(done - resumed_rows) / elapsed : 0.0;
+    if (done < total && rate > 0)
+      std::fprintf(stderr, "  [%zu/%zu] journaled, %.1f rows/s, ETA %.0fs\n",
+                   done, total, rate,
+                   static_cast<double>(total - done) / rate);
+    else
+      std::fprintf(stderr, "  [%zu/%zu] journaled, %.1f rows/s\n", done,
+                   total, rate);
   };
   DispatchCoordinator::Open opened =
       DispatchCoordinator::open(jsonl, sweep.name, trials, resume, options);
@@ -348,9 +409,12 @@ int run_serve(int argc, char** argv) {
   }
   std::fprintf(stderr,
                "serving sweep '%s' (%zu trials) on port %u; workers join "
-               "with:\n  sweep_cli work --connect <this-host>:%u %s\n",
+               "with:\n  sweep_cli work --connect <this-host>:%u %s\n"
+               "poll live telemetry with:\n"
+               "  sweep_cli stats <this-host>:%u [--prom] [--watch SEC]\n",
                sweep.name.c_str(), trials.size(), opened.coordinator->port(),
-               opened.coordinator->port(), sweep_path);
+               opened.coordinator->port(), sweep_path,
+               opened.coordinator->port());
   const DispatchServeResult served = opened.coordinator->serve();
   if (!served.ok()) {
     std::fprintf(stderr,
@@ -398,14 +462,11 @@ int run_work(int argc, char** argv) {
   if (connect == nullptr)
     return usage_error(argv[0], "work needs --connect HOST:PORT");
   const std::string endpoint = connect;
-  const std::size_t colon = endpoint.rfind(':');
+  std::string host;
   std::uint32_t port = 0;
-  if (colon == std::string::npos || colon == 0 ||
-      !parse_u32_arg(endpoint.c_str() + colon + 1, port) || port == 0 ||
-      port > 0xffff)
+  if (!parse_endpoint(endpoint, host, port))
     return usage_error(argv[0], "--connect needs HOST:PORT, got '" +
                                     endpoint + "'");
-  const std::string host = endpoint.substr(0, colon);
 
   // The sweep file's [output] paths name the COORDINATOR's artifacts; a
   // worker's optional local journal comes only from its own --output.
@@ -436,9 +497,136 @@ int run_work(int argc, char** argv) {
   return 0;
 }
 
+/// `sweep_cli stats`: poll a live coordinator's telemetry endpoint. One
+/// shot by default; --watch re-polls the SAME connection on a cadence and
+/// exits cleanly when the coordinator goes away (campaign over).
+int run_stats(int argc, char** argv) {
+  const char* endpoint_arg = nullptr;
+  std::string format = "json";
+  std::uint32_t watch_s = 0;
+  for (int i = 2; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      format = "json";
+    } else if (std::strcmp(argv[i], "--prom") == 0) {
+      format = "prom";
+    } else if (std::strcmp(argv[i], "--watch") == 0 && i + 1 < argc) {
+      if (!parse_u32_arg(argv[++i], watch_s) || watch_s == 0)
+        return bad_number(argv[0], "--watch", "a positive number of seconds",
+                          argv[i]);
+    } else if (argv[i][0] == '-') {
+      return usage_error(argv[0], std::string("unknown stats option '") +
+                                      argv[i] + "'");
+    } else if (endpoint_arg == nullptr) {
+      endpoint_arg = argv[i];
+    } else {
+      return usage_error(argv[0], std::string("unexpected argument '") +
+                                      argv[i] + "'");
+    }
+  }
+  if (endpoint_arg == nullptr)
+    return usage_error(argv[0], "stats needs HOST:PORT");
+  const std::string endpoint = endpoint_arg;
+  std::string host;
+  std::uint32_t port = 0;
+  if (!parse_endpoint(endpoint, host, port))
+    return usage_error(argv[0],
+                       "stats needs HOST:PORT, got '" + endpoint + "'");
+
+  TcpSocket::ConnectResult connected =
+      TcpSocket::connect_to(host, static_cast<std::uint16_t>(port));
+  if (!connected.ok()) {
+    std::fprintf(stderr, "error: cannot connect to %s: %s\n",
+                 endpoint.c_str(), connected.error.c_str());
+    return 1;
+  }
+  TcpSocket socket = std::move(connected.socket);
+
+  bool first_poll = true;
+  for (;;) {
+    std::string payload, frame_error;
+    dispatch_wire::Message msg;
+    const bool sent =
+        write_frame(socket, dispatch_wire::stats_request(format));
+    if (!sent || !read_frame(socket, payload, frame_error)) {
+      if (!first_poll) {
+        // Mid-watch disappearance is the normal end of a watched
+        // campaign, not a failure.
+        std::fprintf(stderr,
+                     "coordinator at %s closed the connection (campaign "
+                     "over)\n",
+                     endpoint.c_str());
+        return 0;
+      }
+      std::fprintf(stderr, "error: %s\n",
+                   frame_error.empty()
+                       ? ("coordinator at " + endpoint +
+                          " closed the connection")
+                             .c_str()
+                       : frame_error.c_str());
+      return 1;
+    }
+    if (!dispatch_wire::parse(payload, msg)) {
+      std::fprintf(stderr, "error: malformed frame from coordinator\n");
+      return 1;
+    }
+    using Type = dispatch_wire::Message::Type;
+    if (msg.type == Type::kError) {
+      std::fprintf(stderr, "error: coordinator: %s\n", msg.message.c_str());
+      return 1;
+    }
+    if (msg.type == Type::kForeignVersion) {
+      std::fprintf(stderr,
+                   "error: protocol version mismatch: this build speaks %u, "
+                   "coordinator sent %u\n",
+                   kDispatchProtocolVersion, msg.version);
+      return 1;
+    }
+    if (msg.type != Type::kStatsReply ||
+        msg.stats_version != kStatsVersion) {
+      std::fprintf(stderr, "error: unexpected frame from coordinator\n");
+      return 1;
+    }
+    std::printf("%s", msg.body.c_str());
+    if (msg.body.empty() || msg.body.back() != '\n') std::printf("\n");
+    std::fflush(stdout);
+    first_poll = false;
+    if (watch_s == 0) return 0;
+    std::this_thread::sleep_for(std::chrono::seconds(watch_s));
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Logging config first, so every subcommand (and load error) honors it.
+  // Env is the fallback; an explicit --log-level (valid anywhere on the
+  // command line, stripped before subcommand parsing) wins.
+  if (!init_log_level_from_env())
+    std::fprintf(stderr,
+                 "warning: ignoring ADAPTBF_LOG_LEVEL (expected debug|info|"
+                 "warn|error|off)\n");
+  std::vector<char*> args;
+  args.reserve(static_cast<std::size_t>(argc));
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--log-level") == 0) {
+      if (i + 1 >= argc)
+        return usage_error(argv[0],
+                           "--log-level needs debug|info|warn|error|off");
+      const auto level = log_level_from_name(argv[++i]);
+      if (!level)
+        return usage_error(
+            argv[0],
+            std::string("--log-level needs debug|info|warn|error|off, "
+                        "got '") +
+                argv[i] + "'");
+      set_log_level(*level);
+      continue;
+    }
+    args.push_back(argv[i]);
+  }
+  argc = static_cast<int>(args.size());
+  argv = args.data();
+
   if (argc > 1 && std::strcmp(argv[1], "--version") == 0)
     return print_version();
   if (argc > 1 && std::strcmp(argv[1], "merge") == 0)
@@ -447,6 +635,8 @@ int main(int argc, char** argv) {
     return run_serve(argc, argv);
   if (argc > 1 && std::strcmp(argv[1], "work") == 0)
     return run_work(argc, argv);
+  if (argc > 1 && std::strcmp(argv[1], "stats") == 0)
+    return run_stats(argc, argv);
 
   std::uint32_t threads = 0;
   bool list_only = false;

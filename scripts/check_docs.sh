@@ -2,18 +2,18 @@
 # Docs completeness check (run from the repo root; CI runs it on every
 # push). Fails when the docs/ tree has drifted behind the code:
 #
-#   1. every public header in src/sweep/ and src/net/ must be mentioned
-#      somewhere under docs/
+#   1. every public header in src/sweep/, src/net/, and src/obs/ must be
+#      mentioned somewhere under docs/
 #   2. every --flag sweep_cli parses must appear in docs/sweep_cli.md
 #   3. every sweep_cli subcommand must have a section in docs/sweep_cli.md
-#   4. the README must link all three docs pages
+#   4. the README must link every docs page
 #
 # Mentioning a header is a low bar on purpose: the check catches "we
 # added a subsystem and never documented it", not prose quality.
 set -u
 fail=0
 
-for header in src/sweep/*.h src/net/*.h; do
+for header in src/sweep/*.h src/net/*.h src/obs/*.h; do
   name=$(basename "$header")
   if ! grep -rq "$name" docs/; then
     echo "docs check: public header $name is not mentioned under docs/" >&2
@@ -29,14 +29,15 @@ for flag in $flags; do
   fi
 done
 
-for sub in merge serve work; do
+for sub in merge serve work stats; do
   if ! grep -q "^## .*\`$sub\`" docs/sweep_cli.md; then
     echo "docs check: sweep_cli subcommand '$sub' has no section in docs/sweep_cli.md" >&2
     fail=1
   fi
 done
 
-for page in docs/architecture.md docs/formats.md docs/sweep_cli.md; do
+for page in docs/architecture.md docs/formats.md docs/sweep_cli.md \
+            docs/observability.md; do
   if ! grep -q "$page" README.md; then
     echo "docs check: README.md does not link $page" >&2
     fail=1

@@ -1,0 +1,419 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "support/check.h"
+#include "support/json.h"
+
+namespace adaptbf {
+
+// -------------------------------------------------------------- histogram
+
+Histogram::Histogram(std::span<const double> upper_bounds)
+    : bounds_(upper_bounds.begin(), upper_bounds.end()),
+      buckets_(new std::atomic<std::uint64_t>[bounds_.size() + 1]) {
+  for (std::size_t i = 0; i + 1 < bounds_.size(); ++i)
+    ADAPTBF_CHECK_MSG(bounds_[i] < bounds_[i + 1],
+                      "histogram bounds must be strictly increasing");
+  for (std::size_t i = 0; i <= bounds_.size(); ++i)
+    buckets_[i].store(0, std::memory_order_relaxed);
+}
+
+void Histogram::observe(double v) {
+  // First bucket whose upper bound admits v; one past the end is +Inf.
+  const std::size_t i = static_cast<std::size_t>(
+      std::upper_bound(bounds_.begin(), bounds_.end(), v) -
+      bounds_.begin());
+  // upper_bound is strict (<); Prometheus buckets are `le`, so a value
+  // exactly on a bound belongs in that bound's bucket.
+  const std::size_t bucket =
+      (i > 0 && bounds_[i - 1] == v) ? i - 1 : i;
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(v, std::memory_order_relaxed);
+}
+
+std::span<const double> trial_runtime_bounds_s() {
+  static const double kBounds[] = {0.001, 0.005, 0.01, 0.025, 0.05, 0.1,
+                                   0.25,  0.5,   1.0,  2.5,   5.0,  10.0,
+                                   30.0,  60.0,  120.0, 300.0};
+  return kBounds;
+}
+
+// --------------------------------------------------------------- snapshot
+
+namespace {
+
+bool sample_key_less(const MetricSample& a, const MetricSample& b) {
+  if (a.name != b.name) return a.name < b.name;
+  return a.labels < b.labels;
+}
+
+}  // namespace
+
+const MetricSample* MetricsSnapshot::find(std::string_view name,
+                                          std::string_view labels) const {
+  for (const MetricSample& sample : samples)
+    if (sample.name == name && sample.labels == labels) return &sample;
+  return nullptr;
+}
+
+void MetricsSnapshot::merge(const MetricsSnapshot& other) {
+  for (const MetricSample& theirs : other.samples) {
+    auto it = std::lower_bound(samples.begin(), samples.end(), theirs,
+                               sample_key_less);
+    if (it == samples.end() || it->name != theirs.name ||
+        it->labels != theirs.labels) {
+      samples.insert(it, theirs);
+      continue;
+    }
+    MetricSample& ours = *it;
+    if (ours.kind != theirs.kind)
+      throw std::runtime_error("metric '" + ours.name +
+                               "' merged across different kinds");
+    switch (ours.kind) {
+      case MetricSample::Kind::kCounter:
+        ours.counter += theirs.counter;
+        break;
+      case MetricSample::Kind::kGauge:
+        ours.gauge = theirs.gauge;  // Point-in-time: last write wins.
+        break;
+      case MetricSample::Kind::kHistogram:
+        if (ours.bounds != theirs.bounds)
+          throw std::runtime_error("histogram '" + ours.name +
+                                   "' merged across different bucket bounds");
+        for (std::size_t i = 0; i < ours.buckets.size(); ++i)
+          ours.buckets[i] += theirs.buckets[i];
+        ours.count += theirs.count;
+        ours.sum += theirs.sum;
+        break;
+    }
+  }
+}
+
+double histogram_quantile(const MetricSample& sample, double q) {
+  if (sample.kind != MetricSample::Kind::kHistogram || sample.count == 0 ||
+      !(q >= 0.0 && q <= 1.0))
+    return std::numeric_limits<double>::quiet_NaN();
+  const double rank = q * static_cast<double>(sample.count);
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < sample.buckets.size(); ++i) {
+    const std::uint64_t before = cumulative;
+    cumulative += sample.buckets[i];
+    if (static_cast<double>(cumulative) < rank) continue;
+    if (i == sample.bounds.size())  // +Inf bucket: clamp, don't extrapolate.
+      return sample.bounds.empty() ? std::numeric_limits<double>::quiet_NaN()
+                                   : sample.bounds.back();
+    const double lo = i == 0 ? 0.0 : sample.bounds[i - 1];
+    const double hi = sample.bounds[i];
+    const std::uint64_t in_bucket = sample.buckets[i];
+    if (in_bucket == 0) return hi;
+    return lo + (hi - lo) * (rank - static_cast<double>(before)) /
+                    static_cast<double>(in_bucket);
+  }
+  return std::numeric_limits<double>::quiet_NaN();
+}
+
+namespace {
+
+const char* kind_name(MetricSample::Kind kind) {
+  switch (kind) {
+    case MetricSample::Kind::kCounter: return "counter";
+    case MetricSample::Kind::kGauge: return "gauge";
+    case MetricSample::Kind::kHistogram: return "histogram";
+  }
+  return "?";
+}
+
+/// `name{labels}` or bare `name`; `extra` splices an extra label (the
+/// histogram `le`) after the caller's labels.
+void append_series(std::string& out, const std::string& name,
+                   const std::string& labels, const std::string& extra) {
+  out += name;
+  if (!labels.empty() || !extra.empty()) {
+    out += '{';
+    out += labels;
+    if (!labels.empty() && !extra.empty()) out += ',';
+    out += extra;
+    out += '}';
+  }
+}
+
+std::string prom_bound(double bound) {
+  // Integral bounds print bare ("5" not "5.0"): le values are string
+  // labels, and the canonical Prometheus rendering is the shortest one.
+  return json_num(bound);
+}
+
+}  // namespace
+
+std::string MetricsSnapshot::to_prometheus() const {
+  std::string out;
+  std::string last_typed;  // One # TYPE line per metric name.
+  for (const MetricSample& sample : samples) {
+    if (sample.name != last_typed) {
+      out += "# TYPE ";
+      out += sample.name;
+      out += ' ';
+      out += kind_name(sample.kind);
+      out += '\n';
+      last_typed = sample.name;
+    }
+    switch (sample.kind) {
+      case MetricSample::Kind::kCounter:
+        append_series(out, sample.name, sample.labels, "");
+        out += ' ';
+        out += std::to_string(sample.counter);
+        out += '\n';
+        break;
+      case MetricSample::Kind::kGauge:
+        append_series(out, sample.name, sample.labels, "");
+        out += ' ';
+        out += json_num(sample.gauge);
+        out += '\n';
+        break;
+      case MetricSample::Kind::kHistogram: {
+        std::uint64_t cumulative = 0;
+        for (std::size_t i = 0; i < sample.buckets.size(); ++i) {
+          cumulative += sample.buckets[i];
+          const std::string le =
+              i == sample.bounds.size()
+                  ? std::string("le=\"+Inf\"")
+                  : "le=\"" + prom_bound(sample.bounds[i]) + "\"";
+          append_series(out, sample.name + "_bucket", sample.labels, le);
+          out += ' ';
+          out += std::to_string(cumulative);
+          out += '\n';
+        }
+        append_series(out, sample.name + "_sum", sample.labels, "");
+        out += ' ';
+        out += json_num(sample.sum);
+        out += '\n';
+        append_series(out, sample.name + "_count", sample.labels, "");
+        out += ' ';
+        out += std::to_string(sample.count);
+        out += '\n';
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::string MetricsSnapshot::to_json() const {
+  std::string out = "{\"adaptbf_metrics\":1,\"metrics\":[";
+  bool first = true;
+  for (const MetricSample& sample : samples) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"name\":";
+    out += json_quote(sample.name);
+    out += ",\"labels\":";
+    out += json_quote(sample.labels);
+    out += ",\"type\":\"";
+    out += kind_name(sample.kind);
+    out += '"';
+    switch (sample.kind) {
+      case MetricSample::Kind::kCounter:
+        out += ",\"value\":";
+        out += std::to_string(sample.counter);
+        break;
+      case MetricSample::Kind::kGauge:
+        out += ",\"value\":";
+        out += json_num_exact(sample.gauge);
+        break;
+      case MetricSample::Kind::kHistogram: {
+        out += ",\"count\":";
+        out += std::to_string(sample.count);
+        out += ",\"sum\":";
+        out += json_num_exact(sample.sum);
+        out += ",\"bounds\":[";
+        for (std::size_t i = 0; i < sample.bounds.size(); ++i) {
+          if (i > 0) out += ',';
+          out += json_num_exact(sample.bounds[i]);
+        }
+        out += "],\"buckets\":[";
+        for (std::size_t i = 0; i < sample.buckets.size(); ++i) {
+          if (i > 0) out += ',';
+          out += std::to_string(sample.buckets[i]);
+        }
+        out += ']';
+        break;
+      }
+    }
+    out += '}';
+  }
+  out += "]}";
+  return out;
+}
+
+bool metrics_from_json(std::string_view text, MetricsSnapshot& out) {
+  JsonCursor c(text);
+  out = MetricsSnapshot{};
+  if (!json_lit(c, "{\"adaptbf_metrics\":1,\"metrics\":[")) return false;
+  bool first = true;
+  while (!json_lit(c, "]")) {
+    if (!first && !json_lit(c, ",")) return false;
+    first = false;
+    MetricSample sample;
+    std::string type;
+    if (!json_lit(c, "{\"name\":") || !json_parse_string(c, sample.name))
+      return false;
+    if (!json_lit(c, ",\"labels\":") || !json_parse_string(c, sample.labels))
+      return false;
+    if (!json_lit(c, ",\"type\":") || !json_parse_string(c, type))
+      return false;
+    if (type == "counter") {
+      sample.kind = MetricSample::Kind::kCounter;
+      if (!json_lit(c, ",\"value\":") || !json_parse_u64(c, sample.counter))
+        return false;
+    } else if (type == "gauge") {
+      sample.kind = MetricSample::Kind::kGauge;
+      if (!json_lit(c, ",\"value\":") ||
+          !json_parse_double_or_null(c, sample.gauge))
+        return false;
+    } else if (type == "histogram") {
+      sample.kind = MetricSample::Kind::kHistogram;
+      if (!json_lit(c, ",\"count\":") || !json_parse_u64(c, sample.count))
+        return false;
+      if (!json_lit(c, ",\"sum\":") ||
+          !json_parse_double_or_null(c, sample.sum))
+        return false;
+      if (!json_lit(c, ",\"bounds\":[")) return false;
+      bool first_bound = true;
+      while (!json_lit(c, "]")) {
+        if (!first_bound && !json_lit(c, ",")) return false;
+        first_bound = false;
+        double bound = 0.0;
+        if (!json_parse_double_or_null(c, bound)) return false;
+        sample.bounds.push_back(bound);
+      }
+      if (!json_lit(c, ",\"buckets\":[")) return false;
+      bool first_bucket = true;
+      while (!json_lit(c, "]")) {
+        if (!first_bucket && !json_lit(c, ",")) return false;
+        first_bucket = false;
+        std::uint64_t n = 0;
+        if (!json_parse_u64(c, n)) return false;
+        sample.buckets.push_back(n);
+      }
+      if (sample.buckets.size() != sample.bounds.size() + 1) return false;
+    } else {
+      return false;
+    }
+    if (!json_lit(c, "}")) return false;
+    out.samples.push_back(std::move(sample));
+  }
+  if (!json_lit(c, "}")) return false;
+  return c.done();
+}
+
+// --------------------------------------------------------------- registry
+
+struct MetricRegistry::Entry {
+  std::string name;
+  std::string labels;
+  MetricSample::Kind kind;
+  // Exactly one is set, matching `kind`.
+  std::unique_ptr<Counter> counter;
+  std::unique_ptr<Gauge> gauge;
+  std::unique_ptr<Histogram> histogram;
+};
+
+MetricRegistry::MetricRegistry() = default;
+MetricRegistry::~MetricRegistry() = default;
+
+Counter& MetricRegistry::counter(std::string_view name,
+                                 std::string_view labels) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& entry : entries_)
+    if (entry->name == name && entry->labels == labels) {
+      ADAPTBF_CHECK_MSG(entry->kind == MetricSample::Kind::kCounter,
+                        "metric re-registered with a different kind");
+      return *entry->counter;
+    }
+  auto entry = std::make_unique<Entry>();
+  entry->name = name;
+  entry->labels = labels;
+  entry->kind = MetricSample::Kind::kCounter;
+  entry->counter = std::make_unique<Counter>();
+  Counter& out = *entry->counter;
+  entries_.push_back(std::move(entry));
+  return out;
+}
+
+Gauge& MetricRegistry::gauge(std::string_view name, std::string_view labels) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& entry : entries_)
+    if (entry->name == name && entry->labels == labels) {
+      ADAPTBF_CHECK_MSG(entry->kind == MetricSample::Kind::kGauge,
+                        "metric re-registered with a different kind");
+      return *entry->gauge;
+    }
+  auto entry = std::make_unique<Entry>();
+  entry->name = name;
+  entry->labels = labels;
+  entry->kind = MetricSample::Kind::kGauge;
+  entry->gauge = std::make_unique<Gauge>();
+  Gauge& out = *entry->gauge;
+  entries_.push_back(std::move(entry));
+  return out;
+}
+
+Histogram& MetricRegistry::histogram(std::string_view name,
+                                     std::span<const double> upper_bounds,
+                                     std::string_view labels) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& entry : entries_)
+    if (entry->name == name && entry->labels == labels) {
+      ADAPTBF_CHECK_MSG(entry->kind == MetricSample::Kind::kHistogram,
+                        "metric re-registered with a different kind");
+      return *entry->histogram;
+    }
+  auto entry = std::make_unique<Entry>();
+  entry->name = name;
+  entry->labels = labels;
+  entry->kind = MetricSample::Kind::kHistogram;
+  entry->histogram = std::make_unique<Histogram>(upper_bounds);
+  Histogram& out = *entry->histogram;
+  entries_.push_back(std::move(entry));
+  return out;
+}
+
+MetricsSnapshot MetricRegistry::snapshot() const {
+  MetricsSnapshot out;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  out.samples.reserve(entries_.size());
+  for (const auto& entry : entries_) {
+    MetricSample sample;
+    sample.name = entry->name;
+    sample.labels = entry->labels;
+    sample.kind = entry->kind;
+    switch (entry->kind) {
+      case MetricSample::Kind::kCounter:
+        sample.counter = entry->counter->value();
+        break;
+      case MetricSample::Kind::kGauge:
+        sample.gauge = entry->gauge->value();
+        break;
+      case MetricSample::Kind::kHistogram: {
+        const Histogram& h = *entry->histogram;
+        sample.bounds = h.bounds();
+        sample.buckets.resize(sample.bounds.size() + 1);
+        for (std::size_t i = 0; i < sample.buckets.size(); ++i)
+          sample.buckets[i] = h.bucket_count(i);
+        sample.count = h.count();
+        sample.sum = h.sum();
+        break;
+      }
+    }
+    out.samples.push_back(std::move(sample));
+  }
+  std::sort(out.samples.begin(), out.samples.end(), sample_key_less);
+  return out;
+}
+
+}  // namespace adaptbf

@@ -1,0 +1,209 @@
+// Live telemetry: a thread-safe registry of named counters, gauges, and
+// fixed-bucket histograms, cheap enough for worker loops and I/O paths.
+//
+// Write path: one relaxed atomic RMW per update — no locks, no
+// allocation — so instrumenting SweepRunner workers or the journal sink
+// costs nanoseconds. The registry mutex guards only metric CREATION
+// (name -> slot); callers look a metric up once and keep the returned
+// reference, which stays valid for the registry's lifetime.
+//
+// The simulator event loop is deliberately NOT instrumented: even a
+// relaxed atomic per event would tax the 13M events/s core. The sim
+// contributes through its existing EventQueue::queue_stats() snapshot and
+// the per-trial counters (events_dispatched) that SweepRunner records
+// AFTER each trial finishes. bench/sim_core_bench's floor check in CI
+// enforces this stays true.
+//
+// Rendering: snapshot() captures every metric into a plain value struct,
+// sorted by (name, labels) so output is deterministic; the snapshot
+// renders to Prometheus text exposition or to the house no-dependency
+// JSON dialect (support/json.h), and snapshots MERGE — counters and
+// histogram buckets add, gauges last-write-wins — so a coordinator can
+// fold per-worker series into fleet totals. Merging is associative and
+// commutative over counters/histograms (tests/obs/metrics_test.cpp
+// proves it), which is what makes fleet aggregation order-independent.
+//
+// Naming scheme (docs/observability.md): adaptbf_<subsystem>_<what>[_total],
+// seconds/bytes as base units, `_total` only on monotonic counters.
+// Labels are a pre-rendered Prometheus label body, e.g. `worker="3"`.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace adaptbf {
+
+/// Monotonic event count. Relaxed atomics: totals are exact, ordering
+/// between metrics is not promised (snapshots are not cross-metric
+/// consistent cuts, same stance as every scrape-based system).
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  [[nodiscard]] std::uint64_t value() const {
+    return v_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+/// Point-in-time value (fleet size, queue depth, rows/s). set() overwrites;
+/// add() nudges — both relaxed.
+class Gauge {
+ public:
+  void set(double v) { v_.store(v, std::memory_order_relaxed); }
+  void add(double delta) { v_.fetch_add(delta, std::memory_order_relaxed); }
+  [[nodiscard]] double value() const {
+    return v_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+/// Fixed-bucket histogram, Prometheus-style: cumulative-at-render buckets
+/// over caller-chosen upper bounds plus an implicit +Inf bucket; observe()
+/// is a binary search plus three relaxed RMWs. Bounds must be strictly
+/// increasing (CHECKed at creation) and cannot change afterwards — merges
+/// require identical bounds.
+class Histogram {
+ public:
+  explicit Histogram(std::span<const double> upper_bounds);
+
+  void observe(double v);
+
+  [[nodiscard]] std::uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] double sum() const {
+    return sum_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] const std::vector<double>& bounds() const { return bounds_; }
+  /// Per-bucket (NOT cumulative) count; index bounds_.size() is +Inf.
+  [[nodiscard]] std::uint64_t bucket_count(std::size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> buckets_;  // bounds+1 slots
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// Exponentially weighted moving average — the "recent per-trial runtime"
+/// a worker attaches to its heartbeats. Single-writer observe(),
+/// any-thread value(); seeds on the first observation instead of decaying
+/// up from zero.
+class Ewma {
+ public:
+  explicit Ewma(double alpha = 0.2) : alpha_(alpha) {}
+
+  void observe(double v) {
+    const double old = v_.load(std::memory_order_relaxed);
+    const double next = seeded_.load(std::memory_order_relaxed)
+                            ? old + alpha_ * (v - old)
+                            : v;
+    seeded_.store(true, std::memory_order_relaxed);
+    v_.store(next, std::memory_order_relaxed);
+  }
+  /// 0.0 until the first observation.
+  [[nodiscard]] double value() const {
+    return v_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  double alpha_;
+  std::atomic<bool> seeded_{false};
+  std::atomic<double> v_{0.0};
+};
+
+/// Default histogram bounds for per-trial runtimes (seconds): covers
+/// microbenchmark-sized trials through multi-minute paper scenarios.
+[[nodiscard]] std::span<const double> trial_runtime_bounds_s();
+
+// --------------------------------------------------------------- snapshot
+
+struct MetricSample {
+  enum class Kind { kCounter, kGauge, kHistogram };
+  std::string name;
+  std::string labels;  ///< Prometheus label body (`worker="3"`) or empty.
+  Kind kind = Kind::kCounter;
+  std::uint64_t counter = 0;  ///< kCounter
+  double gauge = 0.0;         ///< kGauge
+  // kHistogram: per-bucket counts aligned with bounds; +Inf appended.
+  std::vector<double> bounds;
+  std::vector<std::uint64_t> buckets;
+  std::uint64_t count = 0;
+  double sum = 0.0;
+};
+
+/// Point-in-time copy of a registry, sorted by (name, labels) so renders
+/// and merges are deterministic.
+struct MetricsSnapshot {
+  std::vector<MetricSample> samples;
+
+  /// Folds `other` in: counters and histogram buckets add (histogram
+  /// bounds must match — mismatched series throw), gauges take `other`'s
+  /// value (last write wins). Associative + commutative over
+  /// counters/histograms.
+  void merge(const MetricsSnapshot& other);
+
+  /// Prometheus text exposition (# TYPE lines, _bucket/_sum/_count).
+  [[nodiscard]] std::string to_prometheus() const;
+  /// House JSON dialect: {"adaptbf_metrics":1,"metrics":[...]}.
+  [[nodiscard]] std::string to_json() const;
+
+  /// Lookup helpers for tests and aggregators; nullptr when absent.
+  [[nodiscard]] const MetricSample* find(std::string_view name,
+                                         std::string_view labels = "") const;
+};
+
+/// Interpolated quantile (q in [0,1]) from a histogram sample, Prometheus
+/// histogram_quantile-style: linear within the winning bucket, the +Inf
+/// bucket clamps to the highest finite bound. NaN for an empty histogram.
+[[nodiscard]] double histogram_quantile(const MetricSample& sample, double q);
+
+/// Strict parse of a to_json() document back into samples (sorted order
+/// preserved). Powers the stats wire path tests and future scrapers.
+[[nodiscard]] bool metrics_from_json(std::string_view text,
+                                     MetricsSnapshot& out);
+
+// --------------------------------------------------------------- registry
+
+/// Named metric store. create-or-get is mutex-guarded and returns a
+/// reference that is stable for the registry's lifetime; hot paths hold
+/// the reference, never the name.
+class MetricRegistry {
+ public:
+  // Out of line: Entry is incomplete here.
+  MetricRegistry();
+  ~MetricRegistry();
+  MetricRegistry(const MetricRegistry&) = delete;
+  MetricRegistry& operator=(const MetricRegistry&) = delete;
+
+  [[nodiscard]] Counter& counter(std::string_view name,
+                                 std::string_view labels = "");
+  [[nodiscard]] Gauge& gauge(std::string_view name,
+                             std::string_view labels = "");
+  /// `upper_bounds` is consulted only on first creation; later lookups of
+  /// the same (name, labels) return the existing histogram.
+  [[nodiscard]] Histogram& histogram(std::string_view name,
+                                     std::span<const double> upper_bounds,
+                                     std::string_view labels = "");
+
+  [[nodiscard]] MetricsSnapshot snapshot() const;
+
+ private:
+  struct Entry;
+  mutable std::mutex mutex_;
+  std::vector<std::unique_ptr<Entry>> entries_;  ///< Registration order.
+};
+
+}  // namespace adaptbf

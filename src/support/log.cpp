@@ -1,7 +1,9 @@
 #include "support/log.h"
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <mutex>
 #include <string>
 
@@ -9,6 +11,13 @@ namespace adaptbf {
 
 namespace {
 std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
+
+/// Process-start anchor for the +<ms> elapsed column. Captured at first
+/// use, which is close enough to main() for a human-readable offset.
+std::chrono::steady_clock::time_point process_start() {
+  static const auto kStart = std::chrono::steady_clock::now();
+  return kStart;
+}
 
 /// Serializes sink writes. Concurrent sweep trials log from worker
 /// threads; without this the prefix/body/newline fprintf calls of two
@@ -35,6 +44,37 @@ LogLevel log_level() {
   return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
 }
 
+std::optional<LogLevel> log_level_from_name(std::string_view name) {
+  if (name == "debug") return LogLevel::kDebug;
+  if (name == "info") return LogLevel::kInfo;
+  if (name == "warn") return LogLevel::kWarn;
+  if (name == "error") return LogLevel::kError;
+  if (name == "off") return LogLevel::kOff;
+  return std::nullopt;
+}
+
+bool init_log_level_from_env() {
+  const char* env = std::getenv("ADAPTBF_LOG_LEVEL");
+  if (env == nullptr || *env == '\0') return true;
+  const auto level = log_level_from_name(env);
+  if (!level) return false;
+  set_log_level(*level);
+  return true;
+}
+
+std::string format_log_timestamp(std::time_t wall_s, int wall_ms,
+                                 std::uint64_t elapsed_ms) {
+  std::tm utc{};
+  gmtime_r(&wall_s, &utc);
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer),
+                "%04d-%02d-%02dT%02d:%02d:%02d.%03dZ +%llums",
+                utc.tm_year + 1900, utc.tm_mon + 1, utc.tm_mday, utc.tm_hour,
+                utc.tm_min, utc.tm_sec, wall_ms,
+                static_cast<unsigned long long>(elapsed_ms));
+  return buffer;
+}
+
 void log_message(LogLevel level, std::string_view tag, const char* fmt, ...) {
   if (static_cast<int>(level) < g_level.load(std::memory_order_relaxed)) return;
 
@@ -49,9 +89,22 @@ void log_message(LogLevel level, std::string_view tag, const char* fmt, ...) {
   if (body_len > 0) std::vsnprintf(body.data(), body.size() + 1, fmt, args);
   va_end(args);
 
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - process_start());
+  const auto wall = std::chrono::system_clock::now();
+  const std::time_t wall_s = std::chrono::system_clock::to_time_t(wall);
+  const int wall_ms = static_cast<int>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          wall.time_since_epoch())
+          .count() %
+      1000);
+  const std::string stamp = format_log_timestamp(
+      wall_s, wall_ms, static_cast<std::uint64_t>(elapsed.count()));
+
   std::lock_guard<std::mutex> lock(g_sink_mutex);
-  std::fprintf(stderr, "[%s] %.*s: %s\n", level_name(level),
-               static_cast<int>(tag.size()), tag.data(), body.c_str());
+  std::fprintf(stderr, "%s [%s] %.*s: %s\n", stamp.c_str(),
+               level_name(level), static_cast<int>(tag.size()), tag.data(),
+               body.c_str());
 }
 
 }  // namespace adaptbf

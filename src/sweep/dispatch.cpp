@@ -19,7 +19,9 @@
 
 #include "net/frame.h"
 #include "net/socket.h"
+#include "obs/metrics.h"
 #include "support/json.h"
+#include "support/log.h"
 #include "sweep/resume.h"
 #include "sweep/sweep_runner.h"
 
@@ -94,7 +96,38 @@ std::string result(std::uint64_t lease, std::string_view row) {
 
 std::string heartbeat() { return envelope("heartbeat") + "}"; }
 
+std::string heartbeat_counters(std::uint64_t trials_done,
+                               double runtime_ewma_ms) {
+  std::string out = envelope("heartbeat");
+  out += ",\"trials_done\":";
+  out += std::to_string(trials_done);
+  out += ",\"runtime_ewma_ms\":";
+  out += json_num_exact(runtime_ewma_ms);
+  out += '}';
+  return out;
+}
+
 std::string done() { return envelope("done") + "}"; }
+
+std::string stats_request(const std::string& format) {
+  std::string out = envelope("stats");
+  out += ",\"stats_version\":";
+  out += std::to_string(kStatsVersion);
+  out += ",\"format\":";
+  out += json_quote(format);
+  out += '}';
+  return out;
+}
+
+std::string stats_reply(std::string_view body) {
+  std::string out = envelope("stats_reply");
+  out += ",\"stats_version\":";
+  out += std::to_string(kStatsVersion);
+  out += ",\"body\":";
+  out += json_quote(body);
+  out += '}';
+  return out;
+}
 
 bool parse(std::string_view payload, Message& out) {
   JsonCursor c(payload);
@@ -159,8 +192,42 @@ bool parse(std::string_view payload, Message& out) {
     c.p = c.end - 1;
   } else if (type == "heartbeat") {
     out.type = Message::Type::kHeartbeat;
+    // Counters payload is optional: a bare heartbeat (the pre-telemetry
+    // form, still emitted before a worker's first flush) closes here.
+    if (json_lit(c, ",\"trials_done\":")) {
+      if (!json_parse_u64(c, out.trials_done)) return false;
+      if (!json_lit(c, ",\"runtime_ewma_ms\":") ||
+          !json_parse_double_or_null(c, out.runtime_ewma_ms))
+        return false;
+      out.has_counters = true;
+    }
   } else if (type == "done") {
     out.type = Message::Type::kDone;
+  } else if (type == "stats") {
+    out.type = Message::Type::kStats;
+    if (!json_lit(c, ",\"stats_version\":") ||
+        !json_parse_u32(c, out.stats_version))
+      return false;
+    if (out.stats_version != kStatsVersion) {
+      // Foreign stats generation: the rest of the payload is not ours to
+      // interpret (same stance as kForeignVersion). Parsed "successfully"
+      // so the coordinator rejects the stats VERSION by name.
+      c.p = c.end;
+      return true;
+    }
+    if (!json_lit(c, ",\"format\":") || !json_parse_string(c, out.format))
+      return false;
+  } else if (type == "stats_reply") {
+    out.type = Message::Type::kStatsReply;
+    if (!json_lit(c, ",\"stats_version\":") ||
+        !json_parse_u32(c, out.stats_version))
+      return false;
+    if (out.stats_version != kStatsVersion) {
+      c.p = c.end;
+      return true;
+    }
+    if (!json_lit(c, ",\"body\":") || !json_parse_string(c, out.body))
+      return false;
   } else {
     return false;
   }
@@ -188,7 +255,17 @@ struct Conn {
   std::int64_t lease_id = -1;  ///< Active lease; -1 = none.
   Clock::time_point last_activity;
   bool dead = false;  ///< Marked for eviction at the end of the round.
+  /// Per-worker series (created at hello, labeled worker="<id>").
+  Counter* rows_metric = nullptr;
+  Counter* dup_metric = nullptr;
+  Gauge* trials_done_metric = nullptr;
+  Gauge* runtime_ewma_metric = nullptr;
 };
+
+/// Prometheus label body for one worker's series.
+std::string worker_label(std::uint32_t id) {
+  return "worker=\"" + std::to_string(id) + "\"";
+}
 
 struct LeaseState {
   std::vector<std::size_t> remaining;  ///< Undelivered trial indices.
@@ -203,6 +280,10 @@ struct DispatchCoordinator::Impl {
   std::uint64_t grid_hash = 0;
   Options options;
   TcpListener listener;
+  /// Declared before `sink`: the sink holds counter refs into the
+  /// registry, so member destruction order (reverse of declaration) must
+  /// tear the sink down first.
+  MetricRegistry metrics;
   std::unique_ptr<JsonlTrialSink> sink;
 
   std::vector<bool> have;
@@ -214,6 +295,107 @@ struct DispatchCoordinator::Impl {
   std::vector<std::unique_ptr<Conn>> conns;
   std::atomic<bool> stop{false};
   DispatchServeResult stats;
+  Clock::time_point serve_start{};
+
+  // Fleet-wide series, resolved once in open(). Counters are cumulative
+  // over the serve; gauges are refreshed from coordinator state at each
+  // stats poll (refresh_gauges).
+  Counter* rows_journaled_metric = nullptr;
+  Counter* rows_duplicate_metric = nullptr;
+  Counter* leases_granted_metric = nullptr;
+  Counter* leases_reclaimed_metric = nullptr;
+  Counter* workers_seen_metric = nullptr;
+  Counter* frames_metric = nullptr;
+  Counter* rx_bytes_metric = nullptr;
+  Gauge* rows_done_gauge = nullptr;
+  Gauge* trials_total_gauge = nullptr;
+  Gauge* leases_outstanding_gauge = nullptr;
+  Gauge* workers_connected_gauge = nullptr;
+  Gauge* uptime_gauge = nullptr;
+  Gauge* rows_per_sec_gauge = nullptr;
+
+  void init_metrics() {
+    rows_journaled_metric = &metrics.counter(kMetricDispatchRowsJournaled);
+    rows_duplicate_metric = &metrics.counter(kMetricDispatchRowsDuplicate);
+    leases_granted_metric = &metrics.counter(kMetricDispatchLeasesGranted);
+    leases_reclaimed_metric = &metrics.counter(kMetricDispatchLeasesReclaimed);
+    workers_seen_metric = &metrics.counter(kMetricDispatchWorkersSeen);
+    frames_metric = &metrics.counter(kMetricDispatchFramesReceived);
+    rx_bytes_metric = &metrics.counter(kMetricDispatchRxBytes);
+    rows_done_gauge = &metrics.gauge(kMetricDispatchRowsDone);
+    trials_total_gauge = &metrics.gauge(kMetricDispatchTrialsTotal);
+    leases_outstanding_gauge = &metrics.gauge(kMetricDispatchLeasesOutstanding);
+    workers_connected_gauge = &metrics.gauge(kMetricDispatchWorkersConnected);
+    uptime_gauge = &metrics.gauge(kMetricDispatchUptime);
+    rows_per_sec_gauge = &metrics.gauge(kMetricDispatchRowsPerSec);
+  }
+
+  [[nodiscard]] std::uint32_t workers_connected() const {
+    std::uint32_t connected = 0;
+    for (const auto& conn : conns)
+      if (!conn->dead && conn->helloed) ++connected;
+    return connected;
+  }
+
+  [[nodiscard]] double elapsed_s() const {
+    return std::chrono::duration<double>(Clock::now() - serve_start).count();
+  }
+
+  /// Re-derives the gauge series from coordinator state. Called at each
+  /// stats poll, never on the row hot path — gauges are projections of
+  /// state the coordinator already tracks.
+  void refresh_gauges() {
+    rows_done_gauge->set(static_cast<double>(rows_done));
+    trials_total_gauge->set(static_cast<double>(trials.size()));
+    leases_outstanding_gauge->set(static_cast<double>(leases.size()));
+    workers_connected_gauge->set(static_cast<double>(workers_connected()));
+    const double elapsed = elapsed_s();
+    uptime_gauge->set(elapsed);
+    // Serve-average delivery rate: rows journaled by THIS serve over its
+    // lifetime (resumed rows excluded — they predate the serve).
+    rows_per_sec_gauge->set(
+        elapsed > 0 ? static_cast<double>(stats.rows_received) / elapsed : 0.0);
+  }
+
+  /// The `stats` endpoint body. "prom" is the registry rendered as a
+  /// Prometheus scrape; "json" wraps the registry snapshot in a top-level
+  /// summary object (schema: docs/observability.md) so shell consumers
+  /// can grep one key instead of walking the metric array.
+  [[nodiscard]] std::string render_stats(const std::string& format) {
+    refresh_gauges();
+    const MetricsSnapshot snap = metrics.snapshot();
+    if (format == "prom") return snap.to_prometheus();
+    std::string out = "{\"adaptbf_stats\":1,\"sweep\":";
+    out += json_quote(sweep_name);
+    out += ",\"complete\":";
+    out += rows_done == trials.size() ? "true" : "false";
+    out += ",\"trials\":";
+    out += std::to_string(trials.size());
+    out += ",\"rows_done\":";
+    out += std::to_string(rows_done);
+    out += ",\"rows_received\":";
+    out += std::to_string(stats.rows_received);
+    out += ",\"duplicate_rows\":";
+    out += std::to_string(stats.duplicate_rows);
+    out += ",\"workers_connected\":";
+    out += std::to_string(workers_connected());
+    out += ",\"workers_seen\":";
+    out += std::to_string(stats.workers_seen);
+    out += ",\"leases_outstanding\":";
+    out += std::to_string(leases.size());
+    out += ",\"leases_granted\":";
+    out += std::to_string(stats.leases_granted);
+    out += ",\"leases_reclaimed\":";
+    out += std::to_string(stats.leases_reclaimed);
+    out += ",\"elapsed_s\":";
+    out += json_num_exact(elapsed_s());
+    out += ",\"rows_per_s\":";
+    out += json_num_exact(rows_per_sec_gauge->value());
+    out += ",\"registry\":";
+    out += snap.to_json();
+    out += '}';
+    return out;
+  }
 
   void evict(Conn& conn) {
     if (conn.dead) return;
@@ -223,6 +405,7 @@ struct DispatchCoordinator::Impl {
   }
 
   void reject(Conn& conn, const std::string& message) {
+    ADAPTBF_LOG_WARN("dispatch", "rejecting connection: %s", message.c_str());
     (void)write_frame(conn.socket, dispatch_wire::error_msg(message));
     evict(conn);
   }
@@ -230,12 +413,25 @@ struct DispatchCoordinator::Impl {
   /// Returns a dead/evicted worker's undelivered trials to the queue.
   void reclaim(Conn& conn) {
     if (conn.lease_id < 0) return;
-    auto it = leases.find(static_cast<std::uint64_t>(conn.lease_id));
+    const std::uint64_t lease_id = static_cast<std::uint64_t>(conn.lease_id);
+    auto it = leases.find(lease_id);
     conn.lease_id = -1;
     if (it == leases.end()) return;
+    // Drop trials the journal already has: other workers (or non-owner
+    // deliveries) may have journaled this lease's trials while its owner
+    // was silent. Filtering BEFORE the requeue decision keeps a
+    // reclaimed-then-completed lease from counting as reclaimed work —
+    // its rows sit in `rows_done` (and possibly `duplicates`) already,
+    // and requeueing them would only mint more duplicates.
+    std::erase_if(it->second.remaining,
+                  [&](std::size_t index) { return have[index]; });
     if (!it->second.remaining.empty()) {
+      ADAPTBF_LOG_INFO("dispatch", "reclaiming lease %llu (%zu trials re-queued)",
+                       static_cast<unsigned long long>(lease_id),
+                       it->second.remaining.size());
       queue.push_back(std::move(it->second.remaining));
       ++stats.leases_reclaimed;
+      leases_reclaimed_metric->inc();
     }
     leases.erase(it);
   }
@@ -268,6 +464,10 @@ struct DispatchCoordinator::Impl {
       return;
     }
     ++stats.leases_granted;
+    leases_granted_metric->inc();
+    ADAPTBF_LOG_DEBUG("dispatch", "lease %llu (%zu trials) -> worker %u",
+                      static_cast<unsigned long long>(id), indices.size(),
+                      conn.id);
   }
 
   /// Pushes freed leases to parked workers (after reclaims/completions).
@@ -313,6 +513,19 @@ struct DispatchCoordinator::Impl {
         conn.helloed = true;
         conn.id = next_worker_id++;
         ++stats.workers_seen;
+        workers_seen_metric->inc();
+        // Per-worker series. create-or-get: a worker id is never reused
+        // within one serve, but labels survive the worker (a dead
+        // worker's totals stay visible in scrapes).
+        const std::string label = worker_label(conn.id);
+        conn.rows_metric = &metrics.counter(kMetricWorkerRows, label);
+        conn.dup_metric = &metrics.counter(kMetricWorkerDuplicates, label);
+        conn.trials_done_metric =
+            &metrics.gauge(kMetricWorkerTrialsDone, label);
+        conn.runtime_ewma_metric =
+            &metrics.gauge(kMetricWorkerRuntimeEwma, label);
+        ADAPTBF_LOG_INFO("dispatch", "worker %u joined sweep '%s'", conn.id,
+                         sweep_name.c_str());
         if (!write_frame(conn.socket, dispatch_wire::welcome(conn.id)))
           evict(conn);
         return;
@@ -347,11 +560,15 @@ struct DispatchCoordinator::Impl {
           // byte-identical; count and discard — same stance as the
           // resume scanner on duplicate journal lines.
           ++stats.duplicate_rows;
+          rows_duplicate_metric->inc();
+          if (conn.dup_metric != nullptr) conn.dup_metric->inc();
         } else {
           sink->append(row);  // Throws on I/O failure; serve() catches.
           have[row.index] = true;
           ++rows_done;
           ++stats.rows_received;
+          rows_journaled_metric->inc();
+          if (conn.rows_metric != nullptr) conn.rows_metric->inc();
           if (options.on_progress)
             options.on_progress(rows_done, trials.size());
         }
@@ -379,27 +596,106 @@ struct DispatchCoordinator::Impl {
         // Liveness only counts for workers that proved their identity —
         // an anonymous connection heartbeating would dodge the silence
         // sweep and hold its fd + poll slot forever.
-        if (!conn.helloed) reject(conn, "heartbeat before hello");
-        return;  // Otherwise last_activity is already refreshed.
+        if (!conn.helloed) {
+          reject(conn, "heartbeat before hello");
+          return;
+        }
+        if (msg.has_counters) {
+          // Worker self-reports feed per-worker GAUGES only. Fleet row
+          // totals always derive from coordinator-side journaling; summing
+          // worker counters would double-count re-leased work.
+          conn.trials_done_metric->set(static_cast<double>(msg.trials_done));
+          conn.runtime_ewma_metric->set(msg.runtime_ewma_ms);
+        }
+        return;  // last_activity is already refreshed.
+      case Type::kStats: {
+        // Stats polls are welcome from anyone, hello or not — a monitor
+        // never joins the campaign — and repeatable on one connection.
+        if (msg.stats_version != kStatsVersion) {
+          reject(conn, "stats version mismatch: coordinator speaks " +
+                           std::to_string(kStatsVersion) + ", client sent " +
+                           std::to_string(msg.stats_version));
+          return;
+        }
+        if (msg.format != "json" && msg.format != "prom") {
+          reject(conn, "unknown stats format '" + msg.format +
+                           "' (expected \"json\" or \"prom\")");
+          return;
+        }
+        const std::string body = render_stats(msg.format);
+        if (!write_frame(conn.socket, dispatch_wire::stats_reply(body)))
+          evict(conn);
+        return;
+      }
       case Type::kWelcome:
       case Type::kLease:
       case Type::kWait:
       case Type::kDone:
       case Type::kError:
+      case Type::kStatsReply:
         reject(conn, "coordinator-only message from a worker");
         return;
     }
   }
 
+  /// Goodbye protocol for every surviving HELLOED connection: send
+  /// `done`, half-close, drain each peer to EOF (bounded). A straight
+  /// close() would race the worker's in-flight request/heartbeat: that
+  /// write would draw an RST flushing the unread `done` from the worker's
+  /// receive queue, turning a fully successful worker into a spurious
+  /// "lost connection" exit. Anonymous connections (stats monitors,
+  /// probes) are left untouched.
+  void release_workers() {
+    for (auto& conn : conns) {
+      if (conn->dead || !conn->helloed) continue;
+      (void)write_frame(conn->socket, dispatch_wire::done());
+      conn->socket.shutdown_write();
+    }
+    const auto drain_deadline = Clock::now() + std::chrono::seconds(2);
+    for (auto& conn : conns) {
+      if (conn->dead || !conn->helloed) continue;
+      char discard[4096];
+      while (Clock::now() < drain_deadline) {
+        pollfd pfd{conn->socket.fd(), POLLIN, 0};
+        if (::poll(&pfd, 1, 100) <= 0) continue;
+        if (conn->socket.recv_some(discard, sizeof(discard)) <= 0) break;
+      }
+      // Campaign is over (or the serve is stopping): nothing to reclaim,
+      // just drop the connection.
+      conn->dead = true;
+      conn->socket.close();
+    }
+    std::erase_if(conns, [](const std::unique_ptr<Conn>& conn) {
+      return conn->dead;
+    });
+  }
+
   DispatchServeResult serve() {
     stats = DispatchServeResult{};
+    serve_start = Clock::now();
     const auto lease_timeout = std::chrono::duration<double>(
         options.lease_timeout_s > 0 ? options.lease_timeout_s : 30.0);
+    Clock::time_point linger_deadline{};
     try {
       while (!stop.load(std::memory_order_relaxed)) {
         if (rows_done == trials.size()) {
-          stats.complete = true;
-          break;
+          if (!stats.complete) {
+            // Completion edge: release the fleet immediately, then keep
+            // the listener alive for linger_s so scrapers (and the CI
+            // smoke) can poll the FINAL totals.
+            stats.complete = true;
+            linger_deadline =
+                Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                                   std::chrono::duration<double>(
+                                       options.linger_s > 0 ? options.linger_s
+                                                            : 0.0));
+            ADAPTBF_LOG_INFO(
+                "dispatch",
+                "campaign complete: %zu rows journaled, %zu duplicates",
+                stats.rows_received, stats.duplicate_rows);
+            release_workers();
+          }
+          if (Clock::now() >= linger_deadline) break;
         }
 
         std::vector<pollfd> fds;
@@ -432,6 +728,7 @@ struct DispatchCoordinator::Impl {
             evict(conn);  // EOF or error: a dead worker's lease re-queues.
             continue;
           }
+          rx_bytes_metric->inc(static_cast<std::uint64_t>(got));
           conn.reader.feed(buffer, static_cast<std::size_t>(got));
           std::string payload, frame_error;
           for (;;) {
@@ -443,6 +740,7 @@ struct DispatchCoordinator::Impl {
               reject(conn, frame_error);
               break;
             }
+            frames_metric->inc();
             handle_frame(conn, payload);
           }
         }
@@ -455,8 +753,13 @@ struct DispatchCoordinator::Impl {
         // that would otherwise hold an fd and a poll slot forever.
         const auto now = Clock::now();
         for (auto& conn : conns) {
-          if (!conn->dead && now - conn->last_activity > lease_timeout)
+          if (!conn->dead && now - conn->last_activity > lease_timeout) {
+            ADAPTBF_LOG_WARN("dispatch",
+                             "connection silent past the %.1fs lease timeout "
+                             "(worker %u); dropping it",
+                             lease_timeout.count(), conn->id);
             evict(*conn);
+          }
         }
 
         std::erase_if(conns, [](const std::unique_ptr<Conn>& conn) {
@@ -470,29 +773,11 @@ struct DispatchCoordinator::Impl {
 
     // Tell every surviving worker the campaign is over (or the serve is
     // stopping); then make the journal durable. A stopped or failed serve
-    // still leaves a valid journal — resume continues it.
-    //
-    // Goodbye protocol: send `done`, half-close, then drain each peer to
-    // EOF (bounded). A straight close() here would race the worker's
-    // in-flight request/heartbeat: that write would draw an RST flushing
-    // the unread `done` from the worker's receive queue, turning a fully
-    // successful worker into a spurious "lost connection" exit.
-    for (auto& conn : conns) {
-      if (!conn->dead && conn->helloed)
-        (void)write_frame(conn->socket, dispatch_wire::done());
-      conn->socket.shutdown_write();
-    }
-    const auto drain_deadline = Clock::now() + std::chrono::seconds(2);
-    for (auto& conn : conns) {
-      if (conn->dead || !conn->helloed) continue;
-      char discard[4096];
-      while (Clock::now() < drain_deadline) {
-        pollfd pfd{conn->socket.fd(), POLLIN, 0};
-        if (::poll(&pfd, 1, 100) <= 0) continue;
-        if (conn->socket.recv_some(discard, sizeof(discard)) <= 0) break;
-      }
-    }
-    conns.clear();  // Conn destructors close the sockets.
+    // still leaves a valid journal — resume continues it. On the
+    // completion path this is a no-op: workers were already released at
+    // the completion edge, before the linger.
+    release_workers();
+    conns.clear();  // Conn destructors close the monitors' sockets.
     if (sink != nullptr && stats.error.empty()) {
       try {
         sink->flush();
@@ -529,6 +814,10 @@ DispatchCoordinator::Open DispatchCoordinator::open(
   impl.grid_hash = sweep_grid_hash(trials);
   impl.options = options;
   if (impl.options.lease_size == 0) impl.options.lease_size = 1;
+  // The journal sink reports into the coordinator's registry so journal
+  // counters (rows/bytes/fsyncs) ride the stats endpoint for free.
+  impl.options.sink.metrics = &impl.metrics;
+  impl.init_metrics();
 
   // Bind the port before touching the journal: a bind failure must not
   // strand a freshly created header-only journal that would then block
@@ -563,13 +852,14 @@ DispatchCoordinator::Open DispatchCoordinator::open(
     header.sweep = sweep_name;
     header.grid_hash = impl.grid_hash;
     header.trials = trials.size();
-    opened = JsonlTrialSink::open_fresh(journal_path, header, options.sink);
+    opened =
+        JsonlTrialSink::open_fresh(journal_path, header, impl.options.sink);
     impl.have.assign(trials.size(), false);
     impl.rows_done = 0;
   } else {
     opened = JsonlTrialSink::open_append(journal_path, scan.valid_bytes,
                                          scan.missing_final_newline,
-                                         options.sink);
+                                         impl.options.sink);
     impl.have = scan.have;
     impl.rows_done = scan.rows;
   }
@@ -677,6 +967,14 @@ DispatchWorkResult run_dispatch_worker(const std::string& host,
   TcpSocket socket = std::move(connected.socket);
   std::mutex send_mutex;
 
+  // Worker-local telemetry: the runner (and optional local journal)
+  // write lock-free counters here; the heartbeat thread snapshots them.
+  // Declared before the local sink so the sink's counter refs die first.
+  MetricRegistry registry;
+  Counter& trials_done_counter = registry.counter(kMetricTrialsDone);
+  Histogram& runtime_hist =
+      registry.histogram(kMetricTrialRuntime, trial_runtime_bounds_s());
+
   const std::uint64_t grid_hash = sweep_grid_hash(trials);
   if (!write_frame(socket,
                    dispatch_wire::hello(sweep_name, grid_hash,
@@ -697,6 +995,7 @@ DispatchWorkResult run_dispatch_worker(const std::string& host,
     header.sweep = sweep_name;
     header.grid_hash = grid_hash;
     header.trials = trials.size();
+    options.sink.metrics = &registry;
     auto opened = JsonlTrialSink::open_fresh(options.journal_path, header,
                                              options.sink);
     if (!opened.ok()) {
@@ -708,19 +1007,35 @@ DispatchWorkResult run_dispatch_worker(const std::string& host,
 
   // Liveness thread: one heartbeat per interval, so the coordinator can
   // tell "running a long trial" from "dead" without waiting for rows.
+  // Each beat carries this worker's counters: lifetime trials done plus a
+  // per-trial runtime EWMA fed from the runtime histogram's interval
+  // deltas (mean runtime of the trials finished since the last beat).
   std::atomic<bool> stop_heartbeat{false};
   const auto heartbeat_interval = std::chrono::duration<double>(
       options.heartbeat_interval_s > 0 ? options.heartbeat_interval_s : 2.0);
   std::thread heartbeat([&] {
+    Ewma runtime_ewma;
+    std::uint64_t last_count = 0;
+    double last_sum = 0.0;
     auto next_beat = Clock::now() + heartbeat_interval;
     while (!stop_heartbeat.load(std::memory_order_relaxed)) {
       std::this_thread::sleep_for(std::chrono::milliseconds(20));
       if (Clock::now() < next_beat) continue;
       next_beat += heartbeat_interval;
+      const std::uint64_t count = runtime_hist.count();
+      const double sum = runtime_hist.sum();
+      if (count > last_count) {
+        runtime_ewma.observe((sum - last_sum) /
+                             static_cast<double>(count - last_count) * 1000.0);
+        last_count = count;
+        last_sum = sum;
+      }
       const std::lock_guard<std::mutex> lock(send_mutex);
       // A failed beat means the socket is gone; the main loop's next
       // send/recv reports it with better context.
-      (void)write_frame(socket, dispatch_wire::heartbeat());
+      (void)write_frame(socket,
+                        dispatch_wire::heartbeat_counters(
+                            trials_done_counter.value(), runtime_ewma.value()));
     }
   });
 
@@ -800,6 +1115,7 @@ DispatchWorkResult run_dispatch_worker(const std::string& host,
           SweepRunner::Options runner_options;
           runner_options.threads = options.threads;
           runner_options.sink = &sink;
+          runner_options.metrics = &registry;
           if (options.on_trial_done)
             runner_options.on_trial_done =
                 [&](std::size_t, std::size_t, const TrialResult& result) {
@@ -824,6 +1140,8 @@ DispatchWorkResult run_dispatch_worker(const std::string& host,
         case Type::kRequest:
         case Type::kResult:
         case Type::kHeartbeat:
+        case Type::kStats:
+        case Type::kStatsReply:
         case Type::kForeignVersion:
           out.error = "unexpected frame from coordinator";
           return;

@@ -58,6 +58,52 @@ inline constexpr std::uint32_t kJournalFormatVersion = 1;
 /// generation by name, so mixed-version fleets fail loudly at connect.
 inline constexpr std::uint32_t kDispatchProtocolVersion = 1;
 
+/// Stats frame generation: the value of the stats/stats_reply messages'
+/// "stats_version" key. Versioned separately from the dispatch protocol
+/// so the telemetry schema can evolve without invalidating running
+/// worker fleets; a coordinator rejects unknown stats generations by
+/// name (tests/sweep/dispatch_test.cpp pins this).
+inline constexpr std::uint32_t kStatsVersion = 1;
+
+/// Metric names the coordinator registers (docs/observability.md).
+/// Fleet row totals come ONLY from coordinator-side journaling — worker
+/// heartbeat counters feed per-worker gauges, never fleet sums, so a
+/// reclaimed-then-completed lease can never double-count.
+inline constexpr char kMetricDispatchRowsJournaled[] =
+    "adaptbf_dispatch_rows_journaled_total";
+inline constexpr char kMetricDispatchRowsDuplicate[] =
+    "adaptbf_dispatch_rows_duplicate_total";
+inline constexpr char kMetricDispatchRowsDone[] = "adaptbf_dispatch_rows_done";
+inline constexpr char kMetricDispatchTrialsTotal[] =
+    "adaptbf_dispatch_trials_total";
+inline constexpr char kMetricDispatchLeasesGranted[] =
+    "adaptbf_dispatch_leases_granted_total";
+inline constexpr char kMetricDispatchLeasesReclaimed[] =
+    "adaptbf_dispatch_leases_reclaimed_total";
+inline constexpr char kMetricDispatchLeasesOutstanding[] =
+    "adaptbf_dispatch_leases_outstanding";
+inline constexpr char kMetricDispatchWorkersConnected[] =
+    "adaptbf_dispatch_workers_connected";
+inline constexpr char kMetricDispatchWorkersSeen[] =
+    "adaptbf_dispatch_workers_seen_total";
+inline constexpr char kMetricDispatchFramesReceived[] =
+    "adaptbf_dispatch_frames_received_total";
+inline constexpr char kMetricDispatchRxBytes[] =
+    "adaptbf_dispatch_rx_bytes_total";
+inline constexpr char kMetricDispatchUptime[] =
+    "adaptbf_dispatch_uptime_seconds";
+inline constexpr char kMetricDispatchRowsPerSec[] =
+    "adaptbf_dispatch_rows_per_second";
+/// Per-worker series, labeled worker="<session id>".
+inline constexpr char kMetricWorkerRows[] =
+    "adaptbf_dispatch_worker_rows_journaled_total";
+inline constexpr char kMetricWorkerDuplicates[] =
+    "adaptbf_dispatch_worker_rows_duplicate_total";
+inline constexpr char kMetricWorkerTrialsDone[] =
+    "adaptbf_dispatch_worker_trials_done";
+inline constexpr char kMetricWorkerRuntimeEwma[] =
+    "adaptbf_dispatch_worker_runtime_ewma_ms";
+
 // ------------------------------------------------------------ wire format
 //
 // One JSON object per frame, machine-written in a fixed dialect (exact
@@ -90,8 +136,20 @@ namespace dispatch_wire {
 [[nodiscard]] std::string result(std::uint64_t lease, std::string_view row);
 /// Worker -> coordinator: liveness while a long trial runs.
 [[nodiscard]] std::string heartbeat();
+/// Heartbeat with an attached counters payload: lifetime trials run by
+/// this worker plus its per-trial runtime EWMA. The coordinator folds
+/// these into per-worker gauges; the bare form stays valid (a frame from
+/// before the worker's first counter flush parses identically).
+[[nodiscard]] std::string heartbeat_counters(std::uint64_t trials_done,
+                                             double runtime_ewma_ms);
 /// Coordinator -> worker: campaign complete; exit cleanly.
 [[nodiscard]] std::string done();
+/// Anyone -> coordinator: one stats poll. Valid WITHOUT a hello — a
+/// monitoring client never joins the campaign — and repeatable on one
+/// connection (`--watch`). `format` is "json" or "prom".
+[[nodiscard]] std::string stats_request(const std::string& format);
+/// Coordinator -> poller: the rendered stats document (docs/formats.md).
+[[nodiscard]] std::string stats_reply(std::string_view body);
 
 struct Message {
   enum class Type {
@@ -104,6 +162,8 @@ struct Message {
     kResult,
     kHeartbeat,
     kDone,
+    kStats,
+    kStatsReply,
     /// Well-formed envelope, foreign "adaptbf_dispatch" generation.
     /// `version` holds the peer's; nothing else is parsed.
     kForeignVersion,
@@ -119,6 +179,16 @@ struct Message {
   std::uint64_t lease = 0;      ///< lease, result
   std::vector<std::uint64_t> indices;  ///< lease
   std::string row;              ///< result: exact journal-row bytes
+
+  bool has_counters = false;        ///< heartbeat: counters attached
+  std::uint64_t trials_done = 0;    ///< heartbeat counters
+  double runtime_ewma_ms = 0.0;     ///< heartbeat counters
+  /// stats, stats_reply. A foreign stats generation parses with
+  /// stats_version set and nothing else, mirroring kForeignVersion: the
+  /// receiver rejects the STATS version by name.
+  std::uint32_t stats_version = 0;
+  std::string format;  ///< stats: "json" | "prom"
+  std::string body;    ///< stats_reply: rendered document
 };
 
 /// Strict parse of one frame payload. False on any malformation — except
@@ -143,8 +213,15 @@ struct DispatchCoordinatorOptions {
   /// silent connection is dropped. Must exceed the workers' heartbeat
   /// interval with margin.
   double lease_timeout_s = 30.0;
-  /// Journal durability knobs (tests disable fsync).
+  /// Journal durability knobs (tests disable fsync). The coordinator
+  /// overrides sink.metrics with its own registry so journal counters
+  /// show up in the stats endpoint.
   JsonlSinkOptions sink{};
+  /// Keep serving `stats` polls for this long after the campaign
+  /// completes (workers are released immediately). A scraper or the CI
+  /// smoke can read the FINAL totals — without a linger the listener
+  /// vanishes the instant the last row lands.
+  double linger_s = 0.0;
   /// Called after each newly journaled trial, from the serve() thread.
   std::function<void(std::size_t rows_done, std::size_t total)> on_progress;
 };

@@ -1,11 +1,13 @@
 #include "sweep/sweep_runner.h"
 
 #include <atomic>
+#include <chrono>
 #include <exception>
 #include <mutex>
 #include <thread>
 #include <utility>
 
+#include "obs/metrics.h"
 #include "support/stats.h"
 #include "sweep/trial_sink.h"
 
@@ -68,6 +70,22 @@ std::vector<TrialResult> SweepRunner::run(
   if (workers > trials.size())
     workers = static_cast<std::uint32_t>(trials.size());
 
+  // Telemetry refs are resolved once, up front: workers touch only
+  // lock-free atomics, never the registry mutex.
+  Counter* trials_started = nullptr;
+  Counter* trials_done_metric = nullptr;
+  Counter* trials_failed = nullptr;
+  Counter* events_total = nullptr;
+  Histogram* trial_runtime = nullptr;
+  if (options_.metrics != nullptr) {
+    trials_started = &options_.metrics->counter(kMetricTrialsStarted);
+    trials_done_metric = &options_.metrics->counter(kMetricTrialsDone);
+    trials_failed = &options_.metrics->counter(kMetricTrialsFailed);
+    events_total = &options_.metrics->counter(kMetricEventsDispatched);
+    trial_runtime = &options_.metrics->histogram(kMetricTrialRuntime,
+                                                 trial_runtime_bounds_s());
+  }
+
   // Work-stealing by atomic index: no queue, no locks on the hot path.
   // Each worker runs whole trials; a trial's Simulator is confined to the
   // worker that claimed it, so the single-threaded simulator invariants
@@ -88,9 +106,21 @@ std::vector<TrialResult> SweepRunner::run(
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= trials.size()) return;
       try {
+        if (trials_started != nullptr) trials_started->inc();
+        const auto trial_t0 = std::chrono::steady_clock::now();
         const ExperimentResult result =
             run_experiment(trials[i].spec, options_.experiment);
+        if (trial_runtime != nullptr) {
+          // Recorded AFTER the experiment returns: the event loop itself
+          // is never instrumented (see obs/metrics.h).
+          const std::chrono::duration<double> elapsed =
+              std::chrono::steady_clock::now() - trial_t0;
+          trial_runtime->observe(elapsed.count());
+        }
+        if (events_total != nullptr)
+          events_total->inc(result.events_dispatched);
         results[i] = summarize_trial(trials[i], result);
+        if (trials_done_metric != nullptr) trials_done_metric->inc();
         if (options_.sink != nullptr || options_.on_trial_done) {
           // Count inside the lock so callbacks see a strictly increasing
           // 1..total sequence even when workers finish back to back; the
@@ -111,6 +141,7 @@ std::vector<TrialResult> SweepRunner::run(
           }
         }
       } catch (...) {
+        if (trials_failed != nullptr) trials_failed->inc();
         std::lock_guard<std::mutex> lock(progress_mutex);
         if (!first_error) first_error = std::current_exception();
         abort.store(true, std::memory_order_relaxed);

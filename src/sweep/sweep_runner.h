@@ -51,6 +51,19 @@ struct TrialResult {
                                           const ExperimentResult& result);
 
 class TrialSink;
+class MetricRegistry;
+
+/// Metric names the runner registers when Options::metrics is set
+/// (naming scheme: docs/observability.md).
+inline constexpr char kMetricTrialsStarted[] =
+    "adaptbf_sweep_trials_started_total";
+inline constexpr char kMetricTrialsDone[] = "adaptbf_sweep_trials_done_total";
+inline constexpr char kMetricTrialsFailed[] =
+    "adaptbf_sweep_trials_failed_total";
+inline constexpr char kMetricTrialRuntime[] =
+    "adaptbf_sweep_trial_runtime_seconds";
+inline constexpr char kMetricEventsDispatched[] =
+    "adaptbf_sweep_events_dispatched_total";
 
 class SweepRunner {
  public:
@@ -72,6 +85,13 @@ class SweepRunner {
     /// memory stops scaling with the completed-trial count. The sink must
     /// outlive run(); the caller owns it.
     TrialSink* sink = nullptr;
+    /// Optional telemetry (obs/metrics.h): trials started/done/failed
+    /// counters, a per-trial wall-clock runtime histogram, and the
+    /// post-trial events_dispatched total. Updates are lock-free atomics
+    /// recorded OUTSIDE the simulator event loop — instrumentation never
+    /// touches the sim core's hot path. Must outlive run(); shared across
+    /// runs (a dispatch worker accumulates over all its leases).
+    MetricRegistry* metrics = nullptr;
   };
 
   SweepRunner();

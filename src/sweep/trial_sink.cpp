@@ -8,6 +8,7 @@
 #include <stdexcept>
 #include <system_error>
 
+#include "obs/metrics.h"
 #include "support/json.h"
 
 #if defined(__unix__) || defined(__APPLE__)
@@ -215,6 +216,11 @@ bool trial_scalars_from_jsonl(std::string_view line, TrialResult& out) {
 JsonlTrialSink::JsonlTrialSink(std::FILE* file, Options options)
     : file_(file), options_(options) {
   if (options_.flush_every == 0) options_.flush_every = 1;
+  if (options_.metrics != nullptr) {
+    rows_metric_ = &options_.metrics->counter(kMetricJournalRows);
+    bytes_metric_ = &options_.metrics->counter(kMetricJournalBytes);
+    fsyncs_metric_ = &options_.metrics->counter(kMetricJournalFsyncs);
+  }
 }
 
 JsonlTrialSink::OpenResult JsonlTrialSink::open_fresh(
@@ -287,13 +293,18 @@ void JsonlTrialSink::append(const TrialResult& result) {
   if (std::fwrite(line.data(), 1, line.size(), file_) != line.size())
     throw std::runtime_error("campaign journal: short write");
   ++rows_;
+  if (rows_metric_ != nullptr) rows_metric_->inc();
+  if (bytes_metric_ != nullptr) bytes_metric_->inc(line.size());
   if (++pending_ >= options_.flush_every) flush();
 }
 
 void JsonlTrialSink::flush() {
   if (std::fflush(file_) != 0)
     throw std::runtime_error("campaign journal: flush failed");
-  if (options_.fsync) sync_to_disk(file_);
+  if (options_.fsync) {
+    sync_to_disk(file_);
+    if (fsyncs_metric_ != nullptr) fsyncs_metric_->inc();
+  }
   pending_ = 0;
 }
 

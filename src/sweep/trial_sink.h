@@ -73,12 +73,24 @@ struct CampaignHeader {
 [[nodiscard]] bool trial_scalars_from_jsonl(std::string_view line,
                                             TrialResult& out);
 
+class Counter;
+class MetricRegistry;
+
+/// Metric names the journal sink registers when JsonlSinkOptions::metrics
+/// is set (naming scheme: docs/observability.md).
+inline constexpr char kMetricJournalRows[] = "adaptbf_journal_rows_total";
+inline constexpr char kMetricJournalBytes[] = "adaptbf_journal_bytes_total";
+inline constexpr char kMetricJournalFsyncs[] = "adaptbf_journal_fsyncs_total";
+
 struct JsonlSinkOptions {
   /// Rows per durability batch: fflush + fsync every N appends (and on
   /// flush()/close). 1 = maximally durable, larger = fewer syncs.
   std::size_t flush_every = 32;
   /// Disable fsync (batched fflush only) for tests/throwaway runs.
   bool fsync = true;
+  /// Optional telemetry (obs/metrics.h): rows appended, row bytes
+  /// written, fsync batches issued. Must outlive the sink.
+  MetricRegistry* metrics = nullptr;
 };
 
 /// Append-only JSONL journal writer with batched fsync.
@@ -122,6 +134,10 @@ class JsonlTrialSink : public TrialSink {
   Options options_;
   std::size_t pending_ = 0;  ///< Appends since the last durability point.
   std::size_t rows_ = 0;
+  // Resolved once at construction (see JsonlSinkOptions::metrics).
+  Counter* rows_metric_ = nullptr;
+  Counter* bytes_metric_ = nullptr;
+  Counter* fsyncs_metric_ = nullptr;
 };
 
 }  // namespace adaptbf

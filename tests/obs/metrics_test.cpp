@@ -1,0 +1,389 @@
+// Telemetry core tests: exactness under concurrency, histogram bucket
+// semantics, merge algebra, and the golden renders the stats endpoint
+// (sweep/dispatch.h) serves.
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "support/random.h"
+
+namespace adaptbf {
+namespace {
+
+// ---------------------------------------------------------------- counters
+
+TEST(Counter, CountsExactlyUnderConcurrency) {
+  MetricRegistry registry;
+  Counter& counter = registry.counter("adaptbf_test_ops_total");
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kPerThread = 20'000;
+  std::vector<std::thread> pool;
+  for (int t = 0; t < kThreads; ++t)
+    pool.emplace_back([&] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) counter.inc();
+    });
+  for (auto& thread : pool) thread.join();
+  EXPECT_EQ(counter.value(), kThreads * kPerThread);
+}
+
+TEST(Counter, IncByDelta) {
+  Counter counter;
+  counter.inc(41);
+  counter.inc();
+  EXPECT_EQ(counter.value(), 42u);
+}
+
+TEST(Gauge, SetAndAdd) {
+  Gauge gauge;
+  EXPECT_EQ(gauge.value(), 0.0);
+  gauge.set(2.5);
+  gauge.add(-0.5);
+  EXPECT_DOUBLE_EQ(gauge.value(), 2.0);
+}
+
+// --------------------------------------------------------------- histogram
+
+/// Reference bucketing: first bound with v <= bound, else +Inf.
+std::size_t reference_bucket(std::span<const double> bounds, double v) {
+  for (std::size_t i = 0; i < bounds.size(); ++i)
+    if (v <= bounds[i]) return i;
+  return bounds.size();
+}
+
+TEST(Histogram, BucketPropertyAgainstReference) {
+  const double bounds[] = {0.1, 1.0, 5.0, 25.0};
+  Histogram hist{std::span<const double>(bounds)};
+  std::vector<std::uint64_t> expected(std::size(bounds) + 1, 0);
+  Xoshiro256 rng(0xfeedbeefu);
+  double sum = 0.0;
+  constexpr int kSamples = 10'000;
+  for (int i = 0; i < kSamples; ++i) {
+    const double v = rng.next_double() * 50.0;  // Spills into +Inf sometimes.
+    hist.observe(v);
+    ++expected[reference_bucket(bounds, v)];
+    sum += v;
+  }
+  EXPECT_EQ(hist.count(), static_cast<std::uint64_t>(kSamples));
+  EXPECT_NEAR(hist.sum(), sum, 1e-6);
+  for (std::size_t i = 0; i < expected.size(); ++i)
+    EXPECT_EQ(hist.bucket_count(i), expected[i]) << "bucket " << i;
+}
+
+TEST(Histogram, ValueOnBoundLandsInThatBucket) {
+  // Prometheus buckets are `le`: a value EQUAL to an upper bound belongs
+  // in that bound's bucket, not the next one.
+  const double bounds[] = {1.0, 2.0};
+  Histogram hist{std::span<const double>(bounds)};
+  hist.observe(1.0);
+  hist.observe(2.0);
+  EXPECT_EQ(hist.bucket_count(0), 1u);
+  EXPECT_EQ(hist.bucket_count(1), 1u);
+  EXPECT_EQ(hist.bucket_count(2), 0u);
+}
+
+TEST(Histogram, DefaultRuntimeBoundsStrictlyIncreasing) {
+  const auto bounds = trial_runtime_bounds_s();
+  ASSERT_FALSE(bounds.empty());
+  for (std::size_t i = 0; i + 1 < bounds.size(); ++i)
+    EXPECT_LT(bounds[i], bounds[i + 1]);
+}
+
+MetricSample histogram_sample(std::span<const double> bounds,
+                              std::span<const double> values) {
+  Histogram hist{bounds};
+  for (const double v : values) hist.observe(v);
+  MetricSample sample;
+  sample.kind = MetricSample::Kind::kHistogram;
+  sample.bounds.assign(bounds.begin(), bounds.end());
+  sample.buckets.resize(bounds.size() + 1);
+  for (std::size_t i = 0; i < sample.buckets.size(); ++i)
+    sample.buckets[i] = hist.bucket_count(i);
+  sample.count = hist.count();
+  sample.sum = hist.sum();
+  return sample;
+}
+
+TEST(HistogramQuantile, MonotoneAndWithinBounds) {
+  const double bounds[] = {0.5, 1.0, 2.0, 4.0};
+  std::vector<double> values;
+  Xoshiro256 rng(7u);
+  for (int i = 0; i < 1'000; ++i) values.push_back(rng.next_double() * 3.0);
+  const MetricSample sample = histogram_sample(bounds, values);
+  double last = 0.0;
+  for (double q = 0.05; q <= 1.0; q += 0.05) {
+    const double value = histogram_quantile(sample, q);
+    EXPECT_GE(value, last) << "q=" << q;  // Monotone in q.
+    EXPECT_GE(value, 0.0);
+    EXPECT_LE(value, bounds[3]);
+    last = value;
+  }
+}
+
+TEST(HistogramQuantile, InfBucketClampsToHighestFiniteBound) {
+  const double bounds[] = {1.0, 2.0};
+  const double values[] = {10.0, 20.0, 30.0};  // All in +Inf.
+  const MetricSample sample = histogram_sample(bounds, values);
+  EXPECT_DOUBLE_EQ(histogram_quantile(sample, 0.99), 2.0);
+}
+
+TEST(HistogramQuantile, EmptyAndInvalidAreNaN) {
+  const double bounds[] = {1.0};
+  const MetricSample empty = histogram_sample(bounds, {});
+  EXPECT_TRUE(std::isnan(histogram_quantile(empty, 0.5)));
+  const double values[] = {0.5};
+  const MetricSample sample = histogram_sample(bounds, values);
+  EXPECT_TRUE(std::isnan(histogram_quantile(sample, 1.5)));
+  MetricSample counter;
+  counter.kind = MetricSample::Kind::kCounter;
+  EXPECT_TRUE(std::isnan(histogram_quantile(counter, 0.5)));
+}
+
+// -------------------------------------------------------------------- ewma
+
+TEST(Ewma, SeedsOnFirstObservation) {
+  Ewma ewma(0.5);
+  EXPECT_EQ(ewma.value(), 0.0);  // Unseeded.
+  ewma.observe(10.0);
+  EXPECT_DOUBLE_EQ(ewma.value(), 10.0);  // Seeded, not decayed up from 0.
+  ewma.observe(20.0);
+  EXPECT_DOUBLE_EQ(ewma.value(), 15.0);
+}
+
+// ------------------------------------------------------------------- merge
+
+MetricsSnapshot random_snapshot(std::uint64_t seed) {
+  MetricRegistry registry;
+  Xoshiro256 rng(seed);
+  registry.counter("adaptbf_test_a_total")
+      .inc(static_cast<std::uint64_t>(rng.next_double() * 1000));
+  registry.counter("adaptbf_test_b_total", "worker=\"1\"")
+      .inc(static_cast<std::uint64_t>(rng.next_double() * 1000));
+  Histogram& hist = registry.histogram("adaptbf_test_runtime_seconds",
+                                       trial_runtime_bounds_s());
+  const int n = 1 + static_cast<int>(rng.next_double() * 50);
+  for (int i = 0; i < n; ++i) hist.observe(rng.next_double() * 100.0);
+  return registry.snapshot();
+}
+
+bool counters_and_histograms_equal(const MetricsSnapshot& a,
+                                   const MetricsSnapshot& b) {
+  if (a.samples.size() != b.samples.size()) return false;
+  for (std::size_t i = 0; i < a.samples.size(); ++i) {
+    const MetricSample& x = a.samples[i];
+    const MetricSample& y = b.samples[i];
+    if (x.name != y.name || x.labels != y.labels || x.kind != y.kind)
+      return false;
+    switch (x.kind) {
+      case MetricSample::Kind::kCounter:
+        if (x.counter != y.counter) return false;
+        break;
+      case MetricSample::Kind::kGauge:
+        break;  // Last-write-wins: order-dependent by design.
+      case MetricSample::Kind::kHistogram:
+        if (x.buckets != y.buckets || x.count != y.count ||
+            std::abs(x.sum - y.sum) > 1e-9 * std::abs(x.sum))
+          return false;
+        break;
+    }
+  }
+  return true;
+}
+
+TEST(MetricsMerge, CountersAndBucketsAdd) {
+  MetricsSnapshot a = random_snapshot(1);
+  const MetricsSnapshot b = random_snapshot(2);
+  const std::uint64_t a_total =
+      a.find("adaptbf_test_a_total")->counter;
+  const std::uint64_t b_total =
+      b.find("adaptbf_test_a_total")->counter;
+  a.merge(b);
+  EXPECT_EQ(a.find("adaptbf_test_a_total")->counter, a_total + b_total);
+}
+
+TEST(MetricsMerge, AssociativeAndCommutativeOverCountersAndHistograms) {
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    const MetricsSnapshot a = random_snapshot(seed * 3 + 1);
+    const MetricsSnapshot b = random_snapshot(seed * 3 + 2);
+    const MetricsSnapshot c = random_snapshot(seed * 3 + 3);
+
+    MetricsSnapshot ab_c = a;  // (a+b)+c
+    ab_c.merge(b);
+    ab_c.merge(c);
+    MetricsSnapshot a_bc = a;  // a+(b+c)
+    MetricsSnapshot bc = b;
+    bc.merge(c);
+    a_bc.merge(bc);
+    EXPECT_TRUE(counters_and_histograms_equal(ab_c, a_bc)) << "seed " << seed;
+
+    MetricsSnapshot ba = b;  // b+a == a+b
+    ba.merge(a);
+    MetricsSnapshot ab = a;
+    ab.merge(b);
+    EXPECT_TRUE(counters_and_histograms_equal(ab, ba)) << "seed " << seed;
+  }
+}
+
+TEST(MetricsMerge, DisjointSeriesUnionAndStaySorted) {
+  MetricRegistry left_registry;
+  left_registry.counter("adaptbf_z_total").inc(1);
+  MetricRegistry right_registry;
+  right_registry.counter("adaptbf_a_total").inc(2);
+  MetricsSnapshot merged = left_registry.snapshot();
+  merged.merge(right_registry.snapshot());
+  ASSERT_EQ(merged.samples.size(), 2u);
+  EXPECT_EQ(merged.samples[0].name, "adaptbf_a_total");
+  EXPECT_EQ(merged.samples[1].name, "adaptbf_z_total");
+}
+
+TEST(MetricsMerge, GaugesLastWriteWins) {
+  MetricRegistry left_registry;
+  left_registry.gauge("adaptbf_depth").set(1.0);
+  MetricRegistry right_registry;
+  right_registry.gauge("adaptbf_depth").set(9.0);
+  MetricsSnapshot merged = left_registry.snapshot();
+  merged.merge(right_registry.snapshot());
+  EXPECT_DOUBLE_EQ(merged.find("adaptbf_depth")->gauge, 9.0);
+}
+
+TEST(MetricsMerge, KindMismatchThrows) {
+  MetricRegistry counter_registry;
+  counter_registry.counter("adaptbf_x").inc();
+  MetricRegistry gauge_registry;
+  gauge_registry.gauge("adaptbf_x").set(1.0);
+  MetricsSnapshot merged = counter_registry.snapshot();
+  EXPECT_THROW(merged.merge(gauge_registry.snapshot()), std::runtime_error);
+}
+
+TEST(MetricsMerge, HistogramBoundsMismatchThrows) {
+  const double bounds_a[] = {1.0, 2.0};
+  const double bounds_b[] = {1.0, 3.0};
+  MetricRegistry registry_a;
+  registry_a.histogram("adaptbf_h", bounds_a).observe(0.5);
+  MetricRegistry registry_b;
+  registry_b.histogram("adaptbf_h", bounds_b).observe(0.5);
+  MetricsSnapshot merged = registry_a.snapshot();
+  EXPECT_THROW(merged.merge(registry_b.snapshot()), std::runtime_error);
+}
+
+// ----------------------------------------------------------------- renders
+
+/// One registry with one metric of each kind, fixed values: the golden
+/// render fixture.
+MetricsSnapshot golden_snapshot() {
+  MetricRegistry registry;
+  registry.counter("adaptbf_sweep_trials_done_total").inc(42);
+  registry.gauge("adaptbf_dispatch_rows_done").set(17.5);
+  const double bounds[] = {0.5, 2.0};
+  Histogram& hist =
+      registry.histogram("adaptbf_sweep_trial_runtime_seconds", bounds);
+  hist.observe(0.25);   // bucket le=0.5
+  hist.observe(2.0);    // bucket le=2 (le semantics: ON the bound)
+  hist.observe(100.0);  // +Inf
+  registry.counter("adaptbf_dispatch_worker_rows_journaled_total",
+                   "worker=\"3\"")
+      .inc(7);
+  return registry.snapshot();
+}
+
+TEST(MetricsRender, PrometheusGolden) {
+  const std::string expected =
+      "# TYPE adaptbf_dispatch_rows_done gauge\n"
+      "adaptbf_dispatch_rows_done 17.5\n"
+      "# TYPE adaptbf_dispatch_worker_rows_journaled_total counter\n"
+      "adaptbf_dispatch_worker_rows_journaled_total{worker=\"3\"} 7\n"
+      "# TYPE adaptbf_sweep_trial_runtime_seconds histogram\n"
+      "adaptbf_sweep_trial_runtime_seconds_bucket{le=\"0.5\"} 1\n"
+      "adaptbf_sweep_trial_runtime_seconds_bucket{le=\"2\"} 2\n"
+      "adaptbf_sweep_trial_runtime_seconds_bucket{le=\"+Inf\"} 3\n"
+      "adaptbf_sweep_trial_runtime_seconds_sum 102.25\n"
+      "adaptbf_sweep_trial_runtime_seconds_count 3\n"
+      "# TYPE adaptbf_sweep_trials_done_total counter\n"
+      "adaptbf_sweep_trials_done_total 42\n";
+  EXPECT_EQ(golden_snapshot().to_prometheus(), expected);
+}
+
+TEST(MetricsRender, JsonGoldenAndRoundTrip) {
+  const std::string rendered = golden_snapshot().to_json();
+  const std::string expected =
+      "{\"adaptbf_metrics\":1,\"metrics\":["
+      "{\"name\":\"adaptbf_dispatch_rows_done\",\"labels\":\"\","
+      "\"type\":\"gauge\",\"value\":17.5},"
+      "{\"name\":\"adaptbf_dispatch_worker_rows_journaled_total\","
+      "\"labels\":\"worker=\\\"3\\\"\",\"type\":\"counter\",\"value\":7},"
+      "{\"name\":\"adaptbf_sweep_trial_runtime_seconds\",\"labels\":\"\","
+      "\"type\":\"histogram\",\"count\":3,\"sum\":102.25,"
+      "\"bounds\":[0.5,2],\"buckets\":[1,1,1]},"
+      "{\"name\":\"adaptbf_sweep_trials_done_total\",\"labels\":\"\","
+      "\"type\":\"counter\",\"value\":42}"
+      "]}";
+  EXPECT_EQ(rendered, expected);
+
+  MetricsSnapshot parsed;
+  ASSERT_TRUE(metrics_from_json(rendered, parsed));
+  EXPECT_TRUE(counters_and_histograms_equal(golden_snapshot(), parsed));
+  EXPECT_EQ(parsed.to_json(), rendered);  // Full fixed-point.
+}
+
+TEST(MetricsRender, JsonRejectsMalformedDocuments) {
+  MetricsSnapshot out;
+  EXPECT_FALSE(metrics_from_json("", out));
+  EXPECT_FALSE(metrics_from_json("{\"adaptbf_metrics\":2,\"metrics\":[]}",
+                                 out));
+  EXPECT_FALSE(metrics_from_json(
+      "{\"adaptbf_metrics\":1,\"metrics\":[{\"name\":\"x\",\"labels\":\"\","
+      "\"type\":\"sparkline\",\"value\":1}]}",
+      out));
+  // Histogram with buckets.size() != bounds.size() + 1.
+  EXPECT_FALSE(metrics_from_json(
+      "{\"adaptbf_metrics\":1,\"metrics\":[{\"name\":\"x\",\"labels\":\"\","
+      "\"type\":\"histogram\",\"count\":0,\"sum\":0,\"bounds\":[1],"
+      "\"buckets\":[0]}]}",
+      out));
+  // Trailing garbage after a valid document.
+  EXPECT_FALSE(
+      metrics_from_json("{\"adaptbf_metrics\":1,\"metrics\":[]}x", out));
+}
+
+// ---------------------------------------------------------------- registry
+
+TEST(MetricRegistry, CreateOrGetReturnsStableSlot) {
+  MetricRegistry registry;
+  Counter& first = registry.counter("adaptbf_x_total");
+  first.inc(5);
+  Counter& again = registry.counter("adaptbf_x_total");
+  EXPECT_EQ(&first, &again);
+  EXPECT_EQ(again.value(), 5u);
+  // Same name, different labels: a distinct series.
+  Counter& labeled = registry.counter("adaptbf_x_total", "worker=\"1\"");
+  EXPECT_NE(&first, &labeled);
+  EXPECT_EQ(labeled.value(), 0u);
+}
+
+TEST(MetricRegistry, SnapshotSortedByNameThenLabels) {
+  MetricRegistry registry;
+  registry.counter("adaptbf_b_total").inc();
+  registry.counter("adaptbf_a_total", "worker=\"2\"").inc();
+  registry.counter("adaptbf_a_total", "worker=\"1\"").inc();
+  const MetricsSnapshot snap = registry.snapshot();
+  ASSERT_EQ(snap.samples.size(), 3u);
+  EXPECT_EQ(snap.samples[0].name, "adaptbf_a_total");
+  EXPECT_EQ(snap.samples[0].labels, "worker=\"1\"");
+  EXPECT_EQ(snap.samples[1].labels, "worker=\"2\"");
+  EXPECT_EQ(snap.samples[2].name, "adaptbf_b_total");
+}
+
+TEST(MetricRegistry, KindConflictAborts) {
+  MetricRegistry registry;
+  (void)registry.counter("adaptbf_conflict");
+  EXPECT_DEATH((void)registry.gauge("adaptbf_conflict"),
+               "different kind");
+}
+
+}  // namespace
+}  // namespace adaptbf

@@ -9,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <map>
 #include <sstream>
@@ -17,6 +18,7 @@
 #include <vector>
 
 #include "metrics/sweep_export.h"
+#include "obs/metrics.h"
 #include "net/frame.h"
 #include "net/socket.h"
 #include "sweep/resume.h"
@@ -246,6 +248,62 @@ TEST(DispatchWire, MalformedPayloadsRejectedWhole) {
   EXPECT_FALSE(dispatch_wire::parse(
       "{\"adaptbf_dispatch\":1,\"type\":\"result\",\"lease\":1,\"row\":42}",
       msg));
+}
+
+TEST(DispatchWire, TelemetryFramesRoundTrip) {
+  Message msg;
+  // Heartbeat with counters attached...
+  ASSERT_TRUE(dispatch_wire::parse(
+      dispatch_wire::heartbeat_counters(7, 123.5), msg));
+  EXPECT_EQ(msg.type, Message::Type::kHeartbeat);
+  EXPECT_TRUE(msg.has_counters);
+  EXPECT_EQ(msg.trials_done, 7u);
+  EXPECT_EQ(msg.runtime_ewma_ms, 123.5);
+  // ...while the bare pre-telemetry form still parses, counters absent.
+  ASSERT_TRUE(dispatch_wire::parse(dispatch_wire::heartbeat(), msg));
+  EXPECT_EQ(msg.type, Message::Type::kHeartbeat);
+  EXPECT_FALSE(msg.has_counters);
+
+  ASSERT_TRUE(dispatch_wire::parse(dispatch_wire::stats_request("json"), msg));
+  EXPECT_EQ(msg.type, Message::Type::kStats);
+  EXPECT_EQ(msg.stats_version, kStatsVersion);
+  EXPECT_EQ(msg.format, "json");
+  ASSERT_TRUE(dispatch_wire::parse(dispatch_wire::stats_request("prom"), msg));
+  EXPECT_EQ(msg.format, "prom");
+
+  const std::string body = "{\"adaptbf_stats\":1,\"rows_done\":3}";
+  ASSERT_TRUE(dispatch_wire::parse(dispatch_wire::stats_reply(body), msg));
+  EXPECT_EQ(msg.type, Message::Type::kStatsReply);
+  EXPECT_EQ(msg.stats_version, kStatsVersion);
+  EXPECT_EQ(msg.body, body) << "body must survive quoting verbatim";
+}
+
+TEST(DispatchWire, ForeignStatsVersionParsesToVersionOnly) {
+  // A foreign stats generation mirrors kForeignVersion: the envelope and
+  // version parse, the rest is not ours to interpret, and the receiver
+  // rejects the stats VERSION by name.
+  Message msg;
+  ASSERT_TRUE(dispatch_wire::parse(
+      "{\"adaptbf_dispatch\":1,\"type\":\"stats\",\"stats_version\":99,"
+      "\"mystery\":true}",
+      msg));
+  EXPECT_EQ(msg.type, Message::Type::kStats);
+  EXPECT_EQ(msg.stats_version, 99u);
+  EXPECT_TRUE(msg.format.empty());
+
+  ASSERT_TRUE(dispatch_wire::parse(
+      "{\"adaptbf_dispatch\":1,\"type\":\"stats_reply\",\"stats_version\":7,"
+      "\"whatever\":0}",
+      msg));
+  EXPECT_EQ(msg.type, Message::Type::kStatsReply);
+  EXPECT_EQ(msg.stats_version, 7u);
+  EXPECT_TRUE(msg.body.empty());
+
+  // OUR generation with missing fields is still malformed, whole.
+  EXPECT_FALSE(dispatch_wire::parse(
+      "{\"adaptbf_dispatch\":1,\"type\":\"stats\"}", msg));
+  EXPECT_FALSE(dispatch_wire::parse(
+      "{\"adaptbf_dispatch\":1,\"type\":\"stats\",\"stats_version\":1}", msg));
 }
 
 // ------------------------------------------- loopback byte equivalence
@@ -579,6 +637,220 @@ TEST(DispatchEquivalence, SilentStrangerConnectionIsEvicted) {
   std::remove(journal.c_str());
 }
 
+// ------------------------------------------------------- live telemetry
+
+/// Pulls the integer value of `"key":N` out of a stats JSON body.
+std::uint64_t stats_field(const std::string& body, const std::string& key) {
+  const std::string needle = "\"" + key + "\":";
+  const std::size_t at = body.find(needle);
+  EXPECT_NE(at, std::string::npos) << key << " missing in " << body;
+  if (at == std::string::npos) return ~0ull;
+  return std::strtoull(body.c_str() + at + needle.size(), nullptr, 10);
+}
+
+/// One stats poll over an open connection; returns the rendered body.
+std::string poll_stats(RawClient& client, const std::string& format) {
+  EXPECT_TRUE(client.send(dispatch_wire::stats_request(format)));
+  Message msg;
+  EXPECT_TRUE(client.read(msg));
+  EXPECT_EQ(msg.type, Message::Type::kStatsReply);
+  EXPECT_EQ(msg.stats_version, kStatsVersion);
+  return msg.body;
+}
+
+TEST(DispatchStats, LivePollsTrackTheJournalThroughCompletion) {
+  const SweepSpec sweep = small_sweep();
+  const auto trials = sweep.expand();
+  const std::string golden_path = testing::TempDir() + "dispatch_tg.jsonl";
+  const Artifacts golden = golden_artifacts(sweep, trials, golden_path);
+  const std::map<std::size_t, std::string> rows = golden_rows(golden_path);
+
+  const std::string journal = testing::TempDir() + "dispatch_stats.jsonl";
+  std::remove(journal.c_str());
+  DispatchCoordinatorOptions options = coordinator_options();
+  options.linger_s = 30.0;  // Final poll races coordinator exit otherwise.
+  auto opened = DispatchCoordinator::open(journal, sweep.name, trials,
+                                          /*resume=*/false, options);
+  ASSERT_TRUE(opened.ok()) << opened.error;
+  const std::uint16_t port = opened.coordinator->port();
+  ServeThread serving(*opened.coordinator);
+
+  // An anonymous monitor: stats polls need no hello (a scraper never
+  // joins the campaign) and repeat on one connection.
+  RawClient monitor;
+  ASSERT_TRUE(monitor.connect(port));
+  const std::string empty = poll_stats(monitor, "json");
+  EXPECT_EQ(empty.rfind("{\"adaptbf_stats\":1,", 0), 0u) << empty;
+  EXPECT_EQ(stats_field(empty, "trials"), trials.size());
+  EXPECT_EQ(stats_field(empty, "rows_done"), 0u);
+  EXPECT_NE(empty.find("\"complete\":false"), std::string::npos) << empty;
+
+  // A raw client runs one lease, then polls on ITS OWN connection —
+  // per-connection ordering makes the mid-campaign count deterministic.
+  RawClient deliverer;
+  ASSERT_TRUE(deliverer.connect(port));
+  ASSERT_TRUE(deliverer.send(dispatch_wire::hello(
+      sweep.name, sweep_grid_hash(trials), trials.size())));
+  Message msg;
+  ASSERT_TRUE(deliverer.read(msg));
+  ASSERT_EQ(msg.type, Message::Type::kWelcome);
+  ASSERT_TRUE(deliverer.send(dispatch_wire::request()));
+  ASSERT_TRUE(deliverer.read(msg));
+  ASSERT_EQ(msg.type, Message::Type::kLease);
+  const std::uint64_t lease_id = msg.lease;
+  const std::vector<std::uint64_t> leased = msg.indices;
+  ASSERT_FALSE(leased.empty());
+  ASSERT_LT(leased.size(), trials.size());
+  for (const std::uint64_t index : leased)
+    ASSERT_TRUE(deliverer.send(dispatch_wire::result(lease_id, rows.at(index))));
+  const std::string mid = poll_stats(deliverer, "json");
+  EXPECT_EQ(stats_field(mid, "rows_done"), leased.size());
+  EXPECT_EQ(stats_field(mid, "rows_received"), leased.size());
+  EXPECT_NE(mid.find("\"complete\":false"), std::string::npos) << mid;
+  // The body's registry is a parseable metrics document whose journal
+  // counter agrees with the summary.
+  const std::size_t reg = mid.find("\"registry\":");
+  ASSERT_NE(reg, std::string::npos) << mid;
+  MetricsSnapshot snap;
+  ASSERT_TRUE(metrics_from_json(
+      std::string_view(mid).substr(reg + 11, mid.size() - reg - 12), snap));
+  const MetricSample* journaled = snap.find(kMetricDispatchRowsJournaled);
+  ASSERT_NE(journaled, nullptr);
+  EXPECT_EQ(journaled->counter, leased.size());
+  deliverer.socket.close();  // Lease retired; nothing left to reclaim.
+
+  // A real worker finishes the campaign; the coordinator lingers.
+  DispatchWorkResult worker;
+  std::thread worker_thread([&] {
+    worker = run_dispatch_worker("127.0.0.1", port, sweep.name, trials,
+                                 worker_options());
+  });
+  worker_thread.join();
+  EXPECT_TRUE(worker.ok()) << worker.error;
+
+  // Same monitor connection, after completion: final fleet totals.
+  const std::string final_body = poll_stats(monitor, "json");
+  EXPECT_NE(final_body.find("\"complete\":true"), std::string::npos)
+      << final_body;
+  EXPECT_EQ(stats_field(final_body, "rows_done"), trials.size());
+  EXPECT_EQ(stats_field(final_body, "duplicate_rows"), 0u);
+  EXPECT_EQ(stats_field(final_body, "workers_seen"), 2u);
+  EXPECT_EQ(stats_field(final_body, "leases_outstanding"), 0u);
+
+  // The prom rendering of the same registry scrapes the same total.
+  const std::string prom = poll_stats(monitor, "prom");
+  EXPECT_NE(prom.find("# TYPE adaptbf_dispatch_rows_journaled_total counter"),
+            std::string::npos)
+      << prom;
+  EXPECT_NE(prom.find("adaptbf_dispatch_rows_journaled_total " +
+                      std::to_string(trials.size()) + "\n"),
+            std::string::npos)
+      << prom;
+
+  opened.coordinator->request_stop();
+  const DispatchServeResult served = serving.join();
+  ASSERT_TRUE(served.ok()) << served.error;
+  EXPECT_TRUE(served.complete);
+
+  // The reported totals are the journal's totals.
+  const CampaignScan scan = scan_campaign_file(journal, sweep.name, trials);
+  ASSERT_TRUE(scan.ok()) << scan.error;
+  EXPECT_TRUE(scan.complete());
+  EXPECT_EQ(scan.rows, stats_field(final_body, "rows_done"));
+  const Artifacts distributed = export_artifacts(journal, sweep, trials);
+  EXPECT_EQ(golden.csv, distributed.csv);
+  EXPECT_EQ(golden.json, distributed.json);
+  std::remove(golden_path.c_str());
+  std::remove(journal.c_str());
+}
+
+TEST(DispatchStats, ReclaimedButCompletedLeaseIsNotCountedReclaimed) {
+  // Regression: a lease whose trials were ALL journaled by other
+  // connections before its silent owner timed out used to count as a
+  // reclaim and requeue an already-done chunk. It must do neither.
+  const SweepSpec sweep = small_sweep();
+  const auto trials = sweep.expand();
+  const std::string golden_path = testing::TempDir() + "dispatch_rcg.jsonl";
+  const Artifacts golden = golden_artifacts(sweep, trials, golden_path);
+  const std::map<std::size_t, std::string> rows = golden_rows(golden_path);
+
+  const std::string journal = testing::TempDir() + "dispatch_reclaim.jsonl";
+  std::remove(journal.c_str());
+  DispatchCoordinatorOptions options = coordinator_options();
+  options.lease_timeout_s = 0.4;
+  auto opened = DispatchCoordinator::open(journal, sweep.name, trials,
+                                          /*resume=*/false, options);
+  ASSERT_TRUE(opened.ok()) << opened.error;
+  const std::uint16_t port = opened.coordinator->port();
+  ServeThread serving(*opened.coordinator);
+
+  // The victim takes a lease and goes silent.
+  RawClient victim;
+  ASSERT_TRUE(victim.connect(port));
+  ASSERT_TRUE(victim.send(dispatch_wire::hello(
+      sweep.name, sweep_grid_hash(trials), trials.size())));
+  Message msg;
+  ASSERT_TRUE(victim.read(msg));
+  ASSERT_EQ(msg.type, Message::Type::kWelcome);
+  ASSERT_TRUE(victim.send(dispatch_wire::request()));
+  ASSERT_TRUE(victim.read(msg));
+  ASSERT_EQ(msg.type, Message::Type::kLease);
+  const std::uint64_t victim_lease = msg.lease;
+  const std::vector<std::uint64_t> victim_indices = msg.indices;
+  ASSERT_FALSE(victim_indices.empty());
+
+  // A second connection delivers the victim's whole lease. Non-owner
+  // rows are journaled but never retire someone else's lease, so the
+  // victim's lease stays outstanding with every trial already done.
+  RawClient helper;
+  ASSERT_TRUE(helper.connect(port));
+  ASSERT_TRUE(helper.send(dispatch_wire::hello(
+      sweep.name, sweep_grid_hash(trials), trials.size())));
+  ASSERT_TRUE(helper.read(msg));
+  ASSERT_EQ(msg.type, Message::Type::kWelcome);
+  for (const std::uint64_t index : victim_indices)
+    ASSERT_TRUE(
+        helper.send(dispatch_wire::result(victim_lease, rows.at(index))));
+  const std::string mid = poll_stats(helper, "json");
+  EXPECT_EQ(stats_field(mid, "rows_done"), victim_indices.size());
+  EXPECT_EQ(stats_field(mid, "leases_outstanding"), 1u);
+  helper.socket.close();
+
+  // Block until the timeout sweep evicts the victim (EOF on its socket):
+  // reclaim() ran on a lease with nothing left to re-run.
+  std::string payload, error;
+  EXPECT_FALSE(read_frame(victim.socket, payload, error));
+
+  // A real worker finishes the remainder.
+  DispatchWorkResult worker;
+  std::thread worker_thread([&] {
+    worker = run_dispatch_worker("127.0.0.1", port, sweep.name, trials,
+                                 worker_options());
+  });
+  worker_thread.join();
+  const DispatchServeResult served = serving.join();
+
+  ASSERT_TRUE(served.ok()) << served.error;
+  EXPECT_TRUE(served.complete);
+  EXPECT_TRUE(worker.ok()) << worker.error;
+  // The heart of the regression: no reclaim was counted, no chunk was
+  // requeued, so nothing was re-run or double-journaled.
+  EXPECT_EQ(served.leases_reclaimed, 0u);
+  EXPECT_EQ(served.duplicate_rows, 0u);
+  EXPECT_EQ(served.rows_received, trials.size());
+  EXPECT_EQ(worker.trials_run, trials.size() - victim_indices.size());
+
+  const CampaignScan scan = scan_campaign_file(journal, sweep.name, trials);
+  ASSERT_TRUE(scan.ok()) << scan.error;
+  EXPECT_TRUE(scan.complete());
+  EXPECT_EQ(scan.duplicate_rows, 0u);
+  const Artifacts distributed = export_artifacts(journal, sweep, trials);
+  EXPECT_EQ(golden.csv, distributed.csv);
+  EXPECT_EQ(golden.json, distributed.json);
+  std::remove(golden_path.c_str());
+  std::remove(journal.c_str());
+}
+
 // ------------------------------------------------- protocol misuse, named
 
 class DispatchNegative : public ::testing::Test {
@@ -664,6 +936,21 @@ TEST_F(DispatchNegative, BadFrameMagicDropsTheConnection) {
   EXPECT_NE(msg.message.find("magic"), std::string::npos) << msg.message;
   std::string extra, error;
   EXPECT_FALSE(read_frame(client.socket, extra, error));
+}
+
+TEST_F(DispatchNegative, ForeignStatsVersionRejectedByName) {
+  expect_rejection(
+      "{\"adaptbf_dispatch\":1,\"type\":\"stats\",\"stats_version\":99}",
+      "stats version mismatch");
+}
+
+TEST_F(DispatchNegative, UnknownStatsFormatRejected) {
+  expect_rejection(dispatch_wire::stats_request("xml"), "unknown stats format");
+}
+
+TEST_F(DispatchNegative, StatsReplySentToCoordinatorRejected) {
+  expect_rejection(dispatch_wire::stats_reply("{}"),
+                   "coordinator-only message");
 }
 
 TEST_F(DispatchNegative, ForgedResultRowRejected) {
