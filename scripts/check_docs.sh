@@ -7,10 +7,12 @@
 #   2. every --flag sweep_cli parses must appear in docs/sweep_cli.md
 #   3. every sweep_cli subcommand must have a section in docs/sweep_cli.md
 #   4. the README must link every docs page
+#   5. docs/development.md must cover the correctness-tooling surface
+#      (sanitizer flavors, -Werror switch, lint scripts, test labels)
 #
 # Mentioning a header is a low bar on purpose: the check catches "we
 # added a subsystem and never documented it", not prose quality.
-set -u
+set -euo pipefail
 fail=0
 
 for header in src/sweep/*.h src/net/*.h src/obs/*.h; do
@@ -21,13 +23,15 @@ for header in src/sweep/*.h src/net/*.h src/obs/*.h; do
   fi
 done
 
-flags=$(grep -o '"--[a-z-]*"' examples/sweep_cli.cpp | tr -d '"' | sort -u)
-for flag in $flags; do
+flags=$(grep -o '"--[a-z-]*"' examples/sweep_cli.cpp | tr -d '"' | sort -u \
+  || true)
+while IFS= read -r flag; do
+  [ -n "$flag" ] || continue
   if ! grep -q -- "$flag" docs/sweep_cli.md; then
     echo "docs check: sweep_cli flag $flag is missing from docs/sweep_cli.md" >&2
     fail=1
   fi
-done
+done <<<"$flags"
 
 for sub in merge serve work stats; do
   if ! grep -q "^## .*\`$sub\`" docs/sweep_cli.md; then
@@ -37,9 +41,19 @@ for sub in merge serve work stats; do
 done
 
 for page in docs/architecture.md docs/formats.md docs/sweep_cli.md \
-            docs/observability.md; do
+            docs/observability.md docs/development.md; do
   if ! grep -q "$page" README.md; then
     echo "docs check: README.md does not link $page" >&2
+    fail=1
+  fi
+done
+
+# The development guide must track the tooling knobs by name, so renaming
+# a CMake option or lint script without updating the guide fails CI.
+for term in ADAPTBF_SANITIZE ADAPTBF_WERROR lint_invariants.sh .clang-tidy \
+            'ctest -L' 'adaptbf-lint: allow'; do
+  if ! grep -qF -- "$term" docs/development.md; then
+    echo "docs check: docs/development.md does not mention '$term'" >&2
     fail=1
   fi
 done

@@ -1,0 +1,110 @@
+#!/usr/bin/env bash
+# Repo-invariant determinism lint.
+#
+# The campaign stack's core guarantee is byte-identical output for any
+# thread/worker/process count. The CI smokes prove that by diffing real
+# runs — but a diff only catches a hazard on the runs it happens to take.
+# This lint statically forbids the source patterns that create such
+# hazards in the first place:
+#
+#   wall-clock        std::chrono::system_clock, time(), gettimeofday,
+#                     localtime/gmtime/strftime, CLOCK_REALTIME anywhere
+#                     outside src/support/ (support/log stamps log lines;
+#                     nothing journaled may depend on the wall clock)
+#   nondet-random     std::random_device, rand()/srand()/random() outside
+#                     src/support/ (all randomness flows through the
+#                     seeded generators in src/support/random.h)
+#   sim-wallclock     ANY <chrono>/<ctime> use inside src/sim/ — simulated
+#                     time is virtual ticks; the event core must not even
+#                     see a host clock
+#   hrc-alias         std::chrono::high_resolution_clock anywhere (it may
+#                     alias system_clock; use steady_clock)
+#   unordered-output  unordered_{map,set,multimap,multiset} in the layers
+#                     whose iteration order can reach journaled/exported
+#                     bytes (src/sweep/, src/metrics/, src/obs/) unless
+#                     annotated lookup-only (see suppression below)
+#   raw-print         printf/fprintf/puts/std::cout/std::cerr logging in
+#                     src/ outside src/support/ (use ADAPTBF_LOG_* or
+#                     return strings; snprintf-into-buffer is fine)
+#
+# Suppression: append `// adaptbf-lint: allow(<rule>)` to the offending
+# line. The annotation is the audit trail — it asserts, in the diff, that
+# a human judged the use deterministic (e.g. an unordered_set used only
+# for membership tests, never iterated into output).
+#
+#   Usage: lint_invariants.sh [file...]
+#
+# With no arguments, lints every .h/.cpp under src/. Explicit file
+# arguments are classified by the same path rules (so the fixture tree
+# under tests/tooling/fixtures/ exercises each rule). Exits non-zero when
+# any finding survives; prints file:line: [rule] lines, grep-style.
+set -euo pipefail
+
+if [ "$#" -gt 0 ]; then
+  files=("$@")
+else
+  files=()
+  while IFS= read -r f; do
+    files+=("$f")
+  done < <(find src -name '*.h' -o -name '*.cpp' | sort)
+fi
+
+fail=0
+
+# scan <rule> <regex> <file>: print unsuppressed findings, record failure.
+scan() {
+  local rule=$1 regex=$2 file=$3 hits line loc num content
+  hits=$(grep -HnE "$regex" "$file" || true)
+  [ -n "$hits" ] || return 0
+  while IFS= read -r line; do
+    case $line in
+      *"adaptbf-lint: allow($rule)"*) continue ;;
+    esac
+    loc=${line%%:*}
+    line=${line#*:}
+    num=${line%%:*}
+    content=${line#*:}
+    printf '%s:%s: [%s] %s\n' "$loc" "$num" "$rule" "$content" >&2
+    fail=1
+  done <<<"$hits"
+}
+
+wallclock='system_clock|gettimeofday|CLOCK_REALTIME'
+wallclock+='|(^|[^A-Za-z0-9_])(time|localtime(_r)?|gmtime(_r)?|strftime)\('
+nondet_random='random_device|(^|[^A-Za-z0-9_])(rand|srand|random)\('
+unordered='unordered_(map|set|multimap|multiset)'
+raw_print='(^|[^A-Za-z0-9_])f?printf\(|(^|[^A-Za-z0-9_])puts\('
+raw_print+='|std::(cout|cerr|clog)'
+
+for file in "${files[@]}"; do
+  case $file in
+    *src/support/*)
+      # The support layer OWNS the host-facing hazards: log stamps wall
+      # time, random.h wraps the seeded generators. Only the alias trap
+      # applies here.
+      scan hrc-alias 'high_resolution_clock' "$file"
+      continue
+      ;;
+  esac
+
+  scan wallclock "$wallclock" "$file"
+  scan nondet-random "$nondet_random" "$file"
+  scan hrc-alias 'high_resolution_clock' "$file"
+  scan raw-print "$raw_print" "$file"
+
+  case $file in
+    *src/sim/*)
+      scan sim-wallclock '<chrono>|<ctime>|std::chrono|steady_clock' "$file"
+      ;;
+  esac
+  case $file in
+    *src/sweep/* | *src/metrics/* | *src/obs/*)
+      scan unordered-output "$unordered" "$file"
+      ;;
+  esac
+done
+
+if [ "$fail" -eq 0 ]; then
+  echo "lint_invariants: OK (${#files[@]} files)"
+fi
+exit "$fail"

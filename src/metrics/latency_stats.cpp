@@ -1,7 +1,5 @@
 #include "metrics/latency_stats.h"
 
-#include <algorithm>
-
 #include "support/stats.h"
 
 namespace adaptbf {
@@ -49,8 +47,7 @@ std::vector<JobId> LatencyStats::jobs() const {
   std::vector<JobId> ids;
   ids.reserve(samples_.size());
   for (const auto& [job, samples] : samples_) ids.push_back(job);
-  std::sort(ids.begin(), ids.end());
-  return ids;
+  return ids;  // std::map keeps ids sorted already.
 }
 
 std::size_t LatencyStats::samples(JobId job) const {

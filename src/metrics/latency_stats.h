@@ -7,7 +7,7 @@
 // per-job queue-delay and total-latency samples and reports percentiles.
 #pragma once
 
-#include <unordered_map>
+#include <map>
 #include <vector>
 
 #include "rpc/rpc.h"
@@ -49,7 +49,10 @@ class LatencyStats {
   };
   static LatencySummary summarize(const std::vector<double>& values);
 
-  std::unordered_map<JobId, Samples> samples_;
+  // Ordered map: total_latency_all() folds samples across jobs and
+  // floating-point accumulation is rounding-order-sensitive — iteration
+  // order must not depend on hash layout (lint: unordered-output).
+  std::map<JobId, Samples> samples_;
 };
 
 }  // namespace adaptbf

@@ -1,7 +1,5 @@
 #include "metrics/throughput_timeline.h"
 
-#include <algorithm>
-
 #include "support/check.h"
 #include "support/units.h"
 
@@ -76,8 +74,7 @@ std::vector<JobId> ThroughputTimeline::jobs() const {
   std::vector<JobId> ids;
   ids.reserve(bytes_per_bin_.size());
   for (const auto& [job, bins] : bytes_per_bin_) ids.push_back(job);
-  std::sort(ids.begin(), ids.end());
-  return ids;
+  return ids;  // std::map keeps ids sorted already.
 }
 
 }  // namespace adaptbf

@@ -6,7 +6,7 @@
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
+#include <map>
 #include <vector>
 
 #include "rpc/rpc.h"
@@ -42,9 +42,11 @@ class ThroughputTimeline {
  private:
   [[nodiscard]] std::size_t bin_index(SimTime when) const;
 
+  // Ordered maps: aggregate_mibps() sums doubles across jobs, so the
+  // fold order must not depend on hash layout (lint: unordered-output).
   SimDuration bin_width_;
-  std::unordered_map<JobId, std::vector<std::uint64_t>> bytes_per_bin_;
-  std::unordered_map<JobId, std::uint64_t> totals_;
+  std::map<JobId, std::vector<std::uint64_t>> bytes_per_bin_;
+  std::map<JobId, std::uint64_t> totals_;
 };
 
 }  // namespace adaptbf

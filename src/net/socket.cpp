@@ -15,7 +15,11 @@ namespace adaptbf {
 namespace {
 
 std::string errno_string(const char* what) {
-  return std::string(what) + ": " + std::strerror(errno);
+  // strerror_r, not strerror: sockets are used from worker and heartbeat
+  // threads, and strerror's shared buffer is not thread-safe. This is the
+  // GNU variant (returns the message pointer, may ignore buf).
+  char buf[128];
+  return std::string(what) + ": " + strerror_r(errno, buf, sizeof(buf));
 }
 
 }  // namespace

@@ -21,6 +21,12 @@ namespace adaptbf {
 
 }  // namespace adaptbf
 
+// Evaluation contract (pinned by tests/support/check_test.cpp): `expr` is
+// evaluated EXACTLY once whether it passes or fails — side effects in the
+// condition are safe — and `msg` is evaluated at most once, only on the
+// failure path (so it may be an expensive formatting expression).
+// check_failed() is [[noreturn]], which lets clang-tidy and sanitizer
+// flow analysis treat the code after a CHECK as unreachable-on-failure.
 #define ADAPTBF_CHECK(expr)                                              \
   do {                                                                   \
     if (!(expr)) [[unlikely]]                                            \

@@ -54,7 +54,8 @@ std::optional<LogLevel> log_level_from_name(std::string_view name) {
 }
 
 bool init_log_level_from_env() {
-  const char* env = std::getenv("ADAPTBF_LOG_LEVEL");
+  // Read once during startup, before any worker threads exist.
+  const char* env = std::getenv("ADAPTBF_LOG_LEVEL");  // NOLINT(concurrency-mt-unsafe)
   if (env == nullptr || *env == '\0') return true;
   const auto level = log_level_from_name(env);
   if (!level) return false;

@@ -10,7 +10,7 @@
 #include <cstdint>
 #include <span>
 #include <string>
-#include <unordered_map>
+#include <unordered_map>  // adaptbf-lint: allow(unordered-output)
 #include <vector>
 
 #include "support/stats.h"
@@ -95,7 +95,10 @@ class StreamingCellAggregator {
     std::uint64_t total_bytes = 0;
   };
   std::vector<CellAccumulator> cells_;
-  std::unordered_map<std::string, std::size_t> index_;  ///< cell_id -> slot.
+  /// cell_id -> slot. Lookup only: output order comes from cells_, which
+  /// records first-seen order — never from this map's iteration.
+  std::unordered_map<std::string, std::size_t>  // adaptbf-lint: allow(unordered-output)
+      index_;
   std::size_t trials_ = 0;
 };
 

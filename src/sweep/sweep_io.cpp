@@ -2,7 +2,7 @@
 
 #include <fstream>
 #include <sstream>
-#include <unordered_set>
+#include <unordered_set>  // adaptbf-lint: allow(unordered-output)
 
 #include "support/ini.h"
 #include "workload/scenario_io.h"
@@ -67,15 +67,17 @@ SweepLoadResult load_sweep(std::string_view text, const std::string& base_dir) {
   const auto ini = IniFile::parse(text, &parse_error);
   if (!ini.has_value()) return fail("ini: " + parse_error);
 
-  static const std::unordered_set<std::string> known_sweep_keys{
+  // Known-key sets are membership tests only (never iterated), so hash
+  // order cannot reach any output byte.
+  static const std::unordered_set<std::string> known_sweep_keys{  // adaptbf-lint: allow(unordered-output)
       "name",      "policies",        "scenario", "repetitions",
       "base_seed", "start_jitter_ms", "duration_s"};
-  static const std::unordered_set<std::string> known_grid_keys{
+  static const std::unordered_set<std::string> known_grid_keys{  // adaptbf-lint: allow(unordered-output)
       "osts", "token_rate"};
-  static const std::unordered_set<std::string> known_output_keys{
+  static const std::unordered_set<std::string> known_output_keys{  // adaptbf-lint: allow(unordered-output)
       "csv", "json", "jsonl"};
   for (const auto& section : ini->sections()) {
-    const std::unordered_set<std::string>* known = nullptr;
+    const std::unordered_set<std::string>* known = nullptr;  // adaptbf-lint: allow(unordered-output)
     if (section == "sweep") known = &known_sweep_keys;
     else if (section == "grid") known = &known_grid_keys;
     else if (section == "output") known = &known_output_keys;

@@ -24,6 +24,39 @@ TEST(CheckContract, CheckPassesSilently) {
   ADAPTBF_CHECK_MSG(2 + 2 == 4, "never printed");
 }
 
+// The macro evaluation contract (see check.h): the condition expands into
+// the macro body exactly once, so side effects in it happen exactly once.
+TEST(CheckContract, ConditionIsEvaluatedExactlyOnce) {
+  int evals = 0;
+  ADAPTBF_CHECK(++evals == 1);
+  EXPECT_EQ(evals, 1);
+  ADAPTBF_CHECK_MSG(++evals == 2, "side-effecting condition");
+  EXPECT_EQ(evals, 2);
+}
+
+// And on the failure path: a condition with a side effect still runs once
+// (the death message proves the failure branch was the one taken).
+TEST(CheckContract, ConditionIsEvaluatedExactlyOnceOnFailure) {
+  EXPECT_DEATH(
+      [] {
+        int evals = 0;
+        ADAPTBF_CHECK(++evals == 99);
+      }(),
+      "\\+\\+evals == 99");
+}
+
+// The message argument is lazy: never evaluated when the check passes,
+// so callers may pass expensive formatting expressions.
+TEST(CheckContract, MessageIsNotEvaluatedOnSuccess) {
+  int msg_evals = 0;
+  const auto expensive = [&msg_evals]() -> const char* {
+    ++msg_evals;
+    return "built";
+  };
+  ADAPTBF_CHECK_MSG(true, expensive());
+  EXPECT_EQ(msg_evals, 0);
+}
+
 TEST(CheckContract, SimulatorRejectsPastScheduling) {
   Simulator sim;
   sim.run_until(SimTime(100));

@@ -82,8 +82,9 @@ TEST(SweepSpec, SeedsArePairedAcrossPoliciesAndDistinctAcrossReps) {
   // Repetition r has the same seed in every cell (paired comparisons).
   for (const auto& a : trials)
     for (const auto& b : trials)
-      if (a.repetition == b.repetition)
+      if (a.repetition == b.repetition) {
         EXPECT_EQ(a.seed, b.seed);
+      }
   EXPECT_NE(trials[0].seed, trials[1].seed);
   EXPECT_NE(trials[1].seed, trials[2].seed);
   // And the seed is exactly the derived per-repetition stream.

@@ -1,0 +1,13 @@
+// lint-fixture-expect: nondet-random
+// Hardware entropy outside src/support/ bypasses the seeded generator
+// chain that makes trials replayable.
+#include <random>
+
+namespace adaptbf {
+
+unsigned controller_jitter() {
+  std::random_device entropy;
+  return entropy();
+}
+
+}  // namespace adaptbf

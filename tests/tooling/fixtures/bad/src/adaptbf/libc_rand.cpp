@@ -1,0 +1,13 @@
+// lint-fixture-expect: nondet-random
+// libc rand/srand share hidden global state across threads — neither
+// seeded nor replayable per-stream.
+#include <cstdlib>
+
+namespace adaptbf {
+
+int noisy_choice() {
+  srand(42);
+  return rand();
+}
+
+}  // namespace adaptbf

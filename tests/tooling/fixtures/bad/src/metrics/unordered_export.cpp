@@ -1,0 +1,15 @@
+// lint-fixture-expect: unordered-output
+// Iterating an unordered container in an export layer leaks hash-order
+// into output bytes. Must be sorted, or annotated lookup-only.
+#include <string>
+#include <unordered_map>
+
+namespace adaptbf {
+
+std::string export_rows(const std::unordered_map<int, double>& cells) {
+  std::string out;
+  for (const auto& [id, v] : cells) out += std::to_string(id);
+  return out;
+}
+
+}  // namespace adaptbf

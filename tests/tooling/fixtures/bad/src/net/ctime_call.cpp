@@ -1,0 +1,9 @@
+// lint-fixture-expect: wallclock
+// The C time() entry points are the same hazard as system_clock.
+#include <ctime>
+
+namespace adaptbf {
+
+long long frame_epoch() { return static_cast<long long>(time(nullptr)); }
+
+}  // namespace adaptbf

@@ -1,0 +1,14 @@
+// lint-fixture-expect: raw-print
+// Raw stream/printf logging bypasses support/log's levels, stamps, and
+// sink locking.
+#include <cstdio>
+#include <iostream>
+
+namespace adaptbf {
+
+void announce(int rows) {
+  std::cout << "rows: " << rows << "\n";
+  printf("rows: %d\n", rows);
+}
+
+}  // namespace adaptbf

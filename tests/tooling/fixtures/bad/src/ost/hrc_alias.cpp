@@ -1,0 +1,12 @@
+// lint-fixture-expect: hrc-alias
+// high_resolution_clock may alias the wall clock on some stdlibs; use
+// steady_clock for durations.
+#include <chrono>
+
+namespace adaptbf {
+
+long long disk_tick() {
+  return std::chrono::high_resolution_clock::now().time_since_epoch().count();
+}
+
+}  // namespace adaptbf

@@ -1,0 +1,12 @@
+// lint-fixture-expect: sim-wallclock
+// The event core runs on virtual ticks; even steady_clock is forbidden in
+// src/sim/ — host time observed mid-trial breaks replay determinism.
+#include <chrono>
+
+namespace adaptbf {
+
+long long sim_now_ns() {
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+
+}  // namespace adaptbf

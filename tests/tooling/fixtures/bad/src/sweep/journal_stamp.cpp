@@ -1,0 +1,14 @@
+// lint-fixture-expect: wallclock
+// A wall-clock stamp in the sweep layer would make journal bytes differ
+// between byte-identical runs.
+#include <chrono>
+#include <string>
+
+namespace adaptbf {
+
+std::string journal_stamp() {
+  const auto now = std::chrono::system_clock::now();
+  return std::to_string(now.time_since_epoch().count());
+}
+
+}  // namespace adaptbf

@@ -1,0 +1,12 @@
+// Unordered containers are fine OUTSIDE the journaled/exported-output
+// layers — simulation state that never renders in hash order.
+#include <cstdint>
+#include <unordered_map>
+
+namespace adaptbf {
+
+struct InFlight {
+  std::unordered_map<std::uint64_t, std::uint64_t> bytes_by_job;
+};
+
+}  // namespace adaptbf

@@ -1,0 +1,20 @@
+// The event core computes with virtual ticks only; plain integer math and
+// snprintf formatting must not trip any rule.
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+namespace adaptbf {
+
+std::string format_tick(std::uint64_t tick_ns) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3fs",
+                static_cast<double>(tick_ns) * 1e-9);
+  return buf;
+}
+
+std::uint64_t runtime_of(std::uint64_t start, std::uint64_t end) {
+  return end - start;
+}
+
+}  // namespace adaptbf

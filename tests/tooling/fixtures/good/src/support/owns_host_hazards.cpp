@@ -1,0 +1,21 @@
+// The support layer owns the host-facing hazards: log stamps wall time,
+// random.h wraps hardware entropy behind seeded generators, and the log
+// sink is the one place fprintf is allowed. None of these may trip.
+#include <chrono>
+#include <cstdio>
+#include <random>
+
+namespace adaptbf {
+
+long long support_wall_stamp() {
+  return std::chrono::system_clock::now().time_since_epoch().count();
+}
+
+unsigned support_entropy() {
+  std::random_device entropy;
+  return entropy();
+}
+
+void support_sink_write(const char* line) { std::fprintf(stderr, "%s", line); }
+
+}  // namespace adaptbf

@@ -1,0 +1,32 @@
+// Allowed in the sweep layer: steady_clock for runtime metrics (never
+// journaled as bytes), snprintf into buffers (string formatting, not
+// logging), and a suppressed membership-only hash container.
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <unordered_set>  // adaptbf-lint: allow(unordered-output)
+
+namespace adaptbf {
+
+double trial_runtime_s(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+std::string format_rate(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", v);
+  return buf;
+}
+
+bool key_known(const std::string& key) {
+  // Membership test only — never iterated, so hash order cannot reach
+  // output bytes.
+  static const std::unordered_set<  // adaptbf-lint: allow(unordered-output)
+      std::string>
+      known{"rate", "burst"};
+  return known.contains(key);
+}
+
+}  // namespace adaptbf
