@@ -39,6 +39,16 @@
 //   $ ./sweep_cli stats host:7001 --prom          # Prometheus exposition
 //   $ ./sweep_cli stats host:7001 --watch 5       # re-poll every 5 s
 //
+//   # Closed-loop search (docs/search.md): a [search] section picks an
+//   # input variable, a candidate ladder, and a step controller; the
+//   # search drives probe trials until the SLO boundary is bracketed,
+//   # journaling every probe AND every controller step — kill it and
+//   # --resume replays the journal into the identical controller state.
+//   # Probes run in-process, or fan out to ordinary `work` processes.
+//   $ ./sweep_cli search --slo 'p99_ms<=250,jain>=0.9' search.ini
+//   $ ./sweep_cli search --resume search.ini
+//   $ ./sweep_cli search --listen 7001 search.ini   # + work processes
+//
 // Trials are independent simulations, so wall time scales down with
 // --threads while results stay bit-identical: the CSV/JSON written with
 // --threads 1 and --threads 8 match byte for byte. With --output, per-trial
@@ -60,6 +70,9 @@
 #include "metrics/sweep_export.h"
 #include "net/frame.h"
 #include "net/socket.h"
+#include "search/driver.h"
+#include "search/search_io.h"
+#include "support/json.h"
 #include "support/log.h"
 #include "support/table.h"
 #include "sweep/dispatch.h"
@@ -126,12 +139,17 @@ int usage(const char* argv0) {
                "       %s work --connect HOST:PORT [--threads N]\n"
                "          [--output JOURNAL.jsonl] <sweep.ini>\n"
                "       %s stats HOST:PORT [--json | --prom] [--watch SEC]\n"
+               "       %s search [--threads N] [--slo EXPR] [--budget N]\n"
+               "          [--output JOURNAL.jsonl] [--resume] [--listen "
+               "PORT]\n"
+               "          [--lease N] [--lease-timeout SEC] [--linger SEC] "
+               "<sweep.ini>\n"
                "       %s --version\n"
                "global: --log-level debug|info|warn|error|off (or "
                "ADAPTBF_LOG_LEVEL)\n"
                "exit codes: 0 success, 1 runtime/campaign error, 2 usage "
                "error (docs/sweep_cli.md)\n",
-               argv0, argv0, argv0, argv0, argv0, argv0);
+               argv0, argv0, argv0, argv0, argv0, argv0, argv0);
   return 2;
 }
 
@@ -169,8 +187,11 @@ int print_version() {
               "journal format:    %u  (JSONL campaign journal, "
               "\"adaptbf_sweep\" header key)\n"
               "dispatch protocol: %u  (coordinator/worker frames, "
-              "\"adaptbf_dispatch\" key)\n",
-              kJournalFormatVersion, kDispatchProtocolVersion);
+              "\"adaptbf_dispatch\" key)\n"
+              "search step format: %u  (search journal \"search_step\" "
+              "rows, `search` subcommand)\n",
+              kJournalFormatVersion, kDispatchProtocolVersion,
+              kSearchStepVersion);
   return 0;
 }
 
@@ -356,6 +377,13 @@ int run_serve(int argc, char** argv) {
   const LoadedSweep loaded =
       load_sweep_with_outputs(sweep_path, csv_path, json_path, jsonl_path);
   if (!loaded.ok()) return 1;
+  if (loaded.loaded.has_search()) {
+    std::fprintf(stderr,
+                 "error: '%s' has a [search] section; the search IS the "
+                 "coordinator — run 'sweep_cli search --listen PORT %s'\n",
+                 sweep_path, sweep_path);
+    return 1;
+  }
   const SweepSpec& sweep = loaded.sweep();
   const std::string& csv = loaded.csv;
   const std::string& json = loaded.json;
@@ -474,7 +502,22 @@ int run_work(int argc, char** argv) {
       load_sweep_with_outputs(sweep_path, nullptr, nullptr, nullptr);
   if (!loaded.ok()) return 1;
   const SweepSpec& sweep = loaded.sweep();
-  const std::vector<TrialSpec> trials = sweep.expand();
+  // A [search] file's campaign is its PROBE grid: expand the same grid
+  // the search coordinator serves so the hello's grid hash matches. The
+  // SLO is irrelevant to the grid (and may live only in the
+  // coordinator's --slo flag), so it is not required here.
+  std::vector<TrialSpec> trials;
+  if (loaded.loaded.has_search()) {
+    const SearchLoadResult search_loaded =
+        load_search(loaded.loaded.search_entries, /*require_slo=*/false);
+    if (!search_loaded.ok()) {
+      std::fprintf(stderr, "error: %s\n", search_loaded.error.c_str());
+      return 1;
+    }
+    trials = search_loaded.spec->probe_sweep(sweep).expand();
+  } else {
+    trials = sweep.expand();
+  }
   DispatchWorkerOptions options;
   options.threads = threads;
   if (jsonl_path != nullptr) options.journal_path = jsonl_path;
@@ -595,6 +638,257 @@ int run_stats(int argc, char** argv) {
   }
 }
 
+/// `search` has its own synopsis: its usage errors reprint THIS, not the
+/// seven-subcommand wall, so the user sees the flags that exist here.
+int search_usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s search [--threads N] [--slo EXPR] [--budget N]\n"
+               "          [--output JOURNAL.jsonl] [--resume] [--listen "
+               "PORT]\n"
+               "          [--lease N] [--lease-timeout SEC] [--linger SEC] "
+               "<sweep.ini>\n"
+               "the sweep file needs a [search] section (docs/search.md); "
+               "--slo EXPR\n"
+               "(e.g. 'p99_ms<=250,jain>=0.9') overrides the file's slo = "
+               "line and\n"
+               "--budget its step budget. --listen fans probes out to "
+               "`%s work`\n"
+               "processes instead of running them in-process.\n",
+               argv0, argv0);
+  return 2;
+}
+
+int search_usage_error(const char* argv0, const std::string& message) {
+  std::fprintf(stderr, "error: %s\n\n", message.c_str());
+  return search_usage(argv0);
+}
+
+/// `sweep_cli search`: run (or resume) a closed-loop search. Probes run
+/// in-process by default; --listen turns this process into an adaptive
+/// coordinator and fans them out to ordinary `work` processes.
+int run_search_cmd(int argc, char** argv) {
+  std::uint32_t threads = 0;
+  std::uint32_t port = 0;
+  bool port_given = false;
+  std::uint32_t lease_size = 16;
+  std::uint32_t lease_timeout_s = 30;
+  std::uint32_t linger_s = 0;
+  std::uint32_t budget = 0;
+  bool budget_given = false;
+  bool resume = false;
+  const char* slo_flag = nullptr;
+  const char* jsonl_path = nullptr;
+  const char* sweep_path = nullptr;
+  for (int i = 2; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      if (!parse_u32_arg(argv[++i], threads))
+        return search_usage_error(argv[0],
+                                  std::string("--threads needs a "
+                                              "non-negative integer, got '") +
+                                      argv[i] + "'");
+    } else if (std::strcmp(argv[i], "--slo") == 0 && i + 1 < argc) {
+      slo_flag = argv[++i];
+    } else if (std::strcmp(argv[i], "--budget") == 0 && i + 1 < argc) {
+      if (!parse_u32_arg(argv[++i], budget) || budget == 0)
+        return search_usage_error(argv[0],
+                                  std::string("--budget needs a positive "
+                                              "integer, got '") +
+                                      argv[i] + "'");
+      budget_given = true;
+    } else if (std::strcmp(argv[i], "--output") == 0 && i + 1 < argc) {
+      jsonl_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--resume") == 0) {
+      resume = true;
+    } else if (std::strcmp(argv[i], "--listen") == 0 && i + 1 < argc) {
+      if (!parse_u32_arg(argv[++i], port) || port > 0xffff)
+        return search_usage_error(argv[0],
+                                  std::string("--listen needs a port number "
+                                              "(0-65535), got '") +
+                                      argv[i] + "'");
+      port_given = true;
+    } else if (std::strcmp(argv[i], "--lease") == 0 && i + 1 < argc) {
+      if (!parse_u32_arg(argv[++i], lease_size) || lease_size == 0)
+        return search_usage_error(argv[0],
+                                  std::string("--lease needs a positive "
+                                              "integer, got '") +
+                                      argv[i] + "'");
+    } else if (std::strcmp(argv[i], "--lease-timeout") == 0 && i + 1 < argc) {
+      if (!parse_u32_arg(argv[++i], lease_timeout_s) || lease_timeout_s == 0)
+        return search_usage_error(argv[0],
+                                  std::string("--lease-timeout needs a "
+                                              "positive number of seconds, "
+                                              "got '") +
+                                      argv[i] + "'");
+    } else if (std::strcmp(argv[i], "--linger") == 0 && i + 1 < argc) {
+      if (!parse_u32_arg(argv[++i], linger_s))
+        return search_usage_error(argv[0],
+                                  std::string("--linger needs a number of "
+                                              "seconds, got '") +
+                                      argv[i] + "'");
+    } else if (argv[i][0] == '-') {
+      return search_usage_error(argv[0],
+                                std::string("unknown search option '") +
+                                    argv[i] + "'");
+    } else if (sweep_path == nullptr) {
+      sweep_path = argv[i];
+    } else {
+      return search_usage_error(argv[0], std::string("unexpected argument '") +
+                                             argv[i] + "'");
+    }
+  }
+  if (sweep_path == nullptr)
+    return search_usage_error(argv[0], "search needs a <sweep.ini>");
+
+  const LoadedSweep loaded =
+      load_sweep_with_outputs(sweep_path, nullptr, nullptr, jsonl_path);
+  if (!loaded.ok()) return 1;
+  const SweepSpec& sweep = loaded.sweep();
+  const std::string& jsonl = loaded.jsonl;
+  if (!loaded.loaded.has_search()) {
+    std::fprintf(stderr,
+                 "error: '%s' has no [search] section — `search` needs one "
+                 "(docs/search.md)\n",
+                 sweep_path);
+    return 1;
+  }
+  // The CLI --slo replaces the file's SLO wholesale, so the file may omit
+  // its slo = line when the flag is present.
+  const SearchLoadResult search_loaded =
+      load_search(loaded.loaded.search_entries,
+                  /*require_slo=*/slo_flag == nullptr);
+  if (!search_loaded.ok()) {
+    std::fprintf(stderr, "error: %s\n", search_loaded.error.c_str());
+    return 1;
+  }
+  SearchSpec spec = *search_loaded.spec;
+  if (slo_flag != nullptr) {
+    const SloParseResult slo = parse_slo(slo_flag);
+    if (!slo.ok())
+      return search_usage_error(argv[0], "--slo: " + slo.error);
+    spec.slo = slo.thresholds;
+  }
+  if (budget_given) spec.budget = budget;
+  const std::string invalid = spec.validate(sweep);
+  if (!invalid.empty()) {
+    std::fprintf(stderr, "error: %s\n", invalid.c_str());
+    return 1;
+  }
+  if (jsonl.empty())
+    return search_usage_error(argv[0],
+                              "search needs a journal (--output PATH or an "
+                              "[output] jsonl = line) — every probe and "
+                              "controller step is journaled there");
+
+  // The probe grid: every trial any controller step could request,
+  // pre-expanded. Workers expand the identical grid from the same file
+  // (their hello's grid hash proves it).
+  const SweepSpec probe = spec.probe_sweep(sweep);
+  const std::vector<TrialSpec> trials = probe.expand();
+  std::fprintf(stderr,
+               "search '%s': %s over %s, %zu-rung ladder, budget %u "
+               "(probe grid: %zu trials)\n",
+               sweep.name.c_str(), search_controller_name(spec.controller),
+               search_input_name(spec.input), spec.inputs().size(),
+               spec.budget, trials.size());
+
+  SearchDriverOptions options;
+  options.on_step = [&spec](const SearchStepRow& row) {
+    std::fprintf(stderr, "  step %u [%s] %s=%s verdict=%s bracket=%s\n",
+                 row.step, row.test_stage ? "test" : "adjust",
+                 search_input_name(spec.input), json_num(row.input).c_str(),
+                 verdict_name(row.verdict), json_num(row.bracket).c_str());
+  };
+
+  DispatchCoordinator::Open opened;
+  std::unique_ptr<ProbeExecutor> executor;
+  if (port_given) {
+    DispatchCoordinator::Options coord;
+    coord.port = static_cast<std::uint16_t>(port);
+    coord.lease_size = lease_size;
+    coord.lease_timeout_s = lease_timeout_s;
+    coord.linger_s = linger_s;
+    opened = DispatchCoordinator::open_adaptive(sweep.name, trials, coord);
+    if (!opened.ok()) {
+      std::fprintf(stderr, "error: %s\n", opened.error.c_str());
+      return 1;
+    }
+    std::fprintf(stderr,
+                 "serving probes on port %u; workers join with:\n"
+                 "  sweep_cli work --connect <this-host>:%u %s\n"
+                 "poll live search telemetry with:\n"
+                 "  sweep_cli stats <this-host>:%u [--prom] [--watch SEC]\n",
+                 opened.coordinator->port(), opened.coordinator->port(),
+                 sweep_path, opened.coordinator->port());
+    // Driver gauges land in the coordinator's registry, so `stats`
+    // pollers watch the bracket close live.
+    options.metrics = &opened.coordinator->registry();
+    executor = make_dispatch_probe_executor(*opened.coordinator);
+  } else {
+    executor = make_local_probe_executor(trials, threads, nullptr);
+  }
+
+  const SearchOutcome outcome =
+      run_search(spec, sweep.name, trials, jsonl, resume, *executor, options);
+  // Release the fleet (and linger for stats pollers) even on error —
+  // abandoned workers would otherwise park on `wait` forever.
+  if (opened.coordinator) opened.coordinator->finish();
+  if (!outcome.ok()) {
+    std::fprintf(stderr,
+                 "error: %s\ncompleted probes are journaled in '%s'; rerun "
+                 "with --resume to continue\n",
+                 outcome.error.c_str(), jsonl.c_str());
+    return 1;
+  }
+
+  // One machine-readable result line on stdout (numbers round-trip exact,
+  // like the journal) — scripts and the CI smoke consume this.
+  std::string line = "{\"adaptbf_search_result\":1";
+  line += ",\"sweep\":" + json_quote(sweep.name);
+  line += ",\"controller\":";
+  line += json_quote(search_controller_name(spec.controller));
+  line += ",\"input\":";
+  line += json_quote(search_input_name(spec.input));
+  line += outcome.converged ? ",\"converged\":true" : ",\"converged\":false";
+  line += outcome.feasible ? ",\"feasible\":true" : ",\"feasible\":false";
+  if (outcome.best_index.has_value()) {
+    line += ",\"best_index\":" + std::to_string(*outcome.best_index);
+    line += ",\"best_input\":" + json_num_exact(outcome.best_input);
+    line += ",\"test_verdict\":";
+    line += json_quote(verdict_name(outcome.test_verdict));
+    line += ",\"mibps\":" + json_num_exact(outcome.test_metrics.mibps);
+    line += ",\"fairness\":" + json_num_exact(outcome.test_metrics.fairness);
+    line += ",\"p50_ms\":" + json_num_exact(outcome.test_metrics.p50_ms);
+    line += ",\"p95_ms\":" + json_num_exact(outcome.test_metrics.p95_ms);
+    line += ",\"p99_ms\":" + json_num_exact(outcome.test_metrics.p99_ms);
+  } else {
+    line += ",\"best_index\":null";
+  }
+  line += ",\"steps\":" + std::to_string(outcome.steps);
+  line += ",\"steps_replayed\":" + std::to_string(outcome.steps_replayed);
+  line += ",\"trials_run\":" + std::to_string(outcome.trials_run);
+  line += ",\"bracket\":" + json_num_exact(outcome.bracket);
+  line += "}";
+  std::printf("%s\n", line.c_str());
+  std::fflush(stdout);
+
+  if (outcome.best_index.has_value())
+    std::fprintf(stderr,
+                 "search done: best %s = %s (%s, %s), %u step(s) (%u "
+                 "replayed), %llu new trial(s)\n",
+                 search_input_name(spec.input),
+                 json_num(outcome.best_input).c_str(),
+                 outcome.converged ? "converged" : "budget exhausted",
+                 outcome.feasible ? "feasible" : "NOT upheld by the test "
+                                                "stage",
+                 outcome.steps, outcome.steps_replayed,
+                 static_cast<unsigned long long>(outcome.trials_run));
+  else
+    std::fprintf(stderr,
+                 "search done: no feasible input on the ladder (every probe "
+                 "violated the SLO)\n");
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -637,6 +931,8 @@ int main(int argc, char** argv) {
     return run_work(argc, argv);
   if (argc > 1 && std::strcmp(argv[1], "stats") == 0)
     return run_stats(argc, argv);
+  if (argc > 1 && std::strcmp(argv[1], "search") == 0)
+    return run_search_cmd(argc, argv);
 
   std::uint32_t threads = 0;
   bool list_only = false;
@@ -692,6 +988,15 @@ int main(int argc, char** argv) {
   const LoadedSweep loaded =
       load_sweep_with_outputs(sweep_path, csv_path, json_path, jsonl_path);
   if (!loaded.ok()) return 1;
+  if (loaded.loaded.has_search()) {
+    // Running the BASE grid of a search file would journal under the
+    // wrong grid and strand the [search] intent silently.
+    std::fprintf(stderr,
+                 "error: '%s' has a [search] section; run it with "
+                 "'sweep_cli search %s'\n",
+                 sweep_path, sweep_path);
+    return 1;
+  }
   const SweepSpec& sweep = loaded.sweep();
   const std::string& csv = loaded.csv;
   const std::string& json = loaded.json;

@@ -2,8 +2,8 @@
 # Docs completeness check (run from the repo root; CI runs it on every
 # push). Fails when the docs/ tree has drifted behind the code:
 #
-#   1. every public header in src/sweep/, src/net/, and src/obs/ must be
-#      mentioned somewhere under docs/
+#   1. every public header in src/sweep/, src/net/, src/obs/, and
+#      src/search/ must be mentioned somewhere under docs/
 #   2. every --flag sweep_cli parses must appear in docs/sweep_cli.md
 #   3. every sweep_cli subcommand must have a section in docs/sweep_cli.md
 #   4. the README must link every docs page
@@ -15,7 +15,7 @@
 set -euo pipefail
 fail=0
 
-for header in src/sweep/*.h src/net/*.h src/obs/*.h; do
+for header in src/sweep/*.h src/net/*.h src/obs/*.h src/search/*.h; do
   name=$(basename "$header")
   if ! grep -rq "$name" docs/; then
     echo "docs check: public header $name is not mentioned under docs/" >&2
@@ -33,7 +33,7 @@ while IFS= read -r flag; do
   fi
 done <<<"$flags"
 
-for sub in merge serve work stats; do
+for sub in merge serve work stats search; do
   if ! grep -q "^## .*\`$sub\`" docs/sweep_cli.md; then
     echo "docs check: sweep_cli subcommand '$sub' has no section in docs/sweep_cli.md" >&2
     fail=1
@@ -41,7 +41,7 @@ for sub in merge serve work stats; do
 done
 
 for page in docs/architecture.md docs/formats.md docs/sweep_cli.md \
-            docs/observability.md docs/development.md; do
+            docs/search.md docs/observability.md docs/development.md; do
   if ! grep -q "$page" README.md; then
     echo "docs check: README.md does not link $page" >&2
     fail=1

@@ -110,7 +110,10 @@ double histogram_quantile(const MetricSample& sample, double q) {
     const double lo = i == 0 ? 0.0 : sample.bounds[i - 1];
     const double hi = sample.bounds[i];
     const std::uint64_t in_bucket = sample.buckets[i];
-    if (in_bucket == 0) return hi;
+    // Reachable only at rank == 0 (q = 0 with empty leading buckets):
+    // the quantile lives in the first bucket holding mass, not at this
+    // empty bucket's upper bound.
+    if (in_bucket == 0) continue;
     return lo + (hi - lo) * (rank - static_cast<double>(before)) /
                     static_cast<double>(in_bucket);
   }

@@ -1,0 +1,379 @@
+#include "search/controller.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <limits>
+
+#include "support/check.h"
+
+namespace adaptbf {
+
+namespace {
+
+/// Shared bookkeeping: the ladder, the step budget, and the pending-batch
+/// protocol (next_probes returns the unfed remainder; feed pops the
+/// front after cross-checking it).
+class LadderController : public StepController {
+ public:
+  LadderController(std::vector<double> ladder, std::uint32_t max_steps)
+      : ladder_(std::move(ladder)), max_steps_(max_steps) {
+    ADAPTBF_CHECK_MSG(!ladder_.empty(), "search ladder is empty");
+    ADAPTBF_CHECK_MSG(
+        std::is_sorted(ladder_.begin(), ladder_.end()),
+        "search ladder must be ascending");
+  }
+
+  [[nodiscard]] std::vector<ProbeRequest> next_probes() final {
+    if (done_) return {};
+    if (pending_.empty()) refill();
+    return {pending_.begin(), pending_.end()};
+  }
+
+  void feed(const ProbeRequest& probe, const BenchmarkScore& score) final {
+    if (pending_.empty()) refill();
+    ADAPTBF_CHECK_MSG(!pending_.empty() && probe == pending_.front(),
+                      "feed() does not match the pending probe");
+    pending_.pop_front();
+    ++steps_fed_;
+    on_score(probe, score);
+  }
+
+  [[nodiscard]] bool done() const final {
+    return done_ && pending_.empty();
+  }
+  [[nodiscard]] bool exhausted() const final { return exhausted_; }
+  [[nodiscard]] std::optional<std::uint32_t> best_index() const final {
+    return best_;
+  }
+  [[nodiscard]] std::uint32_t steps_fed() const final { return steps_fed_; }
+
+ protected:
+  /// True when `count` more probes fit the budget; otherwise flips the
+  /// controller into the exhausted-done state.
+  [[nodiscard]] bool budget_allows(std::size_t count) {
+    if (steps_fed_ + count <= max_steps_) return true;
+    done_ = true;
+    exhausted_ = true;
+    return false;
+  }
+
+  void finish() { done_ = true; }
+
+  /// Called with the pending batch empty and the controller not done:
+  /// push the next batch (pending_) or finish()/exhaust.
+  virtual void refill_batch() = 0;
+  /// Consumes one score (the popped front request).
+  virtual void on_score(const ProbeRequest& probe,
+                        const BenchmarkScore& score) = 0;
+
+  [[nodiscard]] std::uint32_t top() const {
+    return static_cast<std::uint32_t>(ladder_.size() - 1);
+  }
+  [[nodiscard]] double rung(std::uint32_t index) const {
+    return ladder_[index];
+  }
+
+  std::deque<ProbeRequest> pending_;
+  std::optional<std::uint32_t> best_;
+
+ private:
+  void refill() {
+    if (!done_) refill_batch();
+  }
+
+  std::vector<double> ladder_;
+  std::uint32_t max_steps_;
+  std::uint32_t steps_fed_ = 0;
+  bool done_ = false;
+  bool exhausted_ = false;
+};
+
+// -------------------------------------------------------------- bisection
+
+class BisectionController final : public LadderController {
+ public:
+  BisectionController(std::vector<double> ladder, std::uint32_t repetitions,
+                      std::uint32_t max_steps)
+      : LadderController(std::move(ladder), max_steps),
+        repetitions_(repetitions) {
+    hi_ = top();
+  }
+
+  [[nodiscard]] const char* name() const override { return "bisect"; }
+
+  [[nodiscard]] double bracket_width() const override {
+    return rung(hi_) - rung(lo_);
+  }
+
+ private:
+  enum class Phase { kProbeLo, kProbeHi, kBracket };
+
+  void refill_batch() override {
+    if (!budget_allows(1)) return;
+    switch (phase_) {
+      case Phase::kProbeLo:
+        pending_.push_back({lo_, repetitions_});
+        return;
+      case Phase::kProbeHi:
+        pending_.push_back({hi_, repetitions_});
+        return;
+      case Phase::kBracket:
+        pending_.push_back({(lo_ + hi_) / 2, repetitions_});
+        return;
+    }
+  }
+
+  void on_score(const ProbeRequest& probe,
+                const BenchmarkScore& score) override {
+    switch (phase_) {
+      case Phase::kProbeLo:
+        if (!score.feasible()) {
+          // The lowest rung already violates the SLO: there is no
+          // feasible input. A converged "no" — not a budget stop.
+          hi_ = lo_;
+          finish();
+          return;
+        }
+        best_ = lo_;
+        if (hi_ == lo_) {
+          finish();
+          return;
+        }
+        phase_ = Phase::kProbeHi;
+        return;
+      case Phase::kProbeHi:
+        if (score.feasible()) {
+          best_ = hi_;
+          lo_ = hi_;
+          finish();
+          return;
+        }
+        phase_ = Phase::kBracket;
+        if (hi_ - lo_ <= 1) finish();
+        return;
+      case Phase::kBracket:
+        if (score.feasible()) {
+          lo_ = probe.input_index;
+          best_ = lo_;
+        } else {
+          hi_ = probe.input_index;
+        }
+        if (hi_ - lo_ <= 1) finish();
+        return;
+    }
+  }
+
+  std::uint32_t repetitions_;
+  std::uint32_t lo_ = 0;
+  std::uint32_t hi_ = 0;
+  Phase phase_ = Phase::kProbeLo;
+};
+
+// --------------------------------------------------------- golden section
+
+class GoldenSectionController final : public LadderController {
+ public:
+  GoldenSectionController(std::vector<double> ladder,
+                          std::uint32_t repetitions, std::uint32_t max_steps)
+      : LadderController(std::move(ladder), max_steps),
+        repetitions_(repetitions) {
+    b_ = static_cast<double>(top());
+    if (top() <= 1) {
+      // One or two rungs: the golden bracket is already narrower than a
+      // ladder step. Enumerate instead.
+      phase_ = Phase::kEnumerate;
+    } else {
+      c_ = b_ - (b_ - a_) * kRho;
+      d_ = a_ + (b_ - a_) * kRho;
+    }
+  }
+
+  [[nodiscard]] const char* name() const override { return "golden"; }
+
+  [[nodiscard]] double bracket_width() const override {
+    const auto lo = static_cast<std::uint32_t>(std::floor(a_));
+    const auto hi = std::min(
+        top(), static_cast<std::uint32_t>(std::ceil(b_)));
+    return rung(hi) - rung(lo);
+  }
+
+ private:
+  static constexpr double kRho = 0.6180339887498949;  // 1/phi
+
+  enum class Phase { kEvalC, kEvalD, kEnumerate };
+
+  [[nodiscard]] std::uint32_t round_index(double point) const {
+    const double clamped =
+        std::clamp(point, 0.0, static_cast<double>(top()));
+    return static_cast<std::uint32_t>(std::lround(clamped));
+  }
+
+  void refill_batch() override {
+    if (phase_ == Phase::kEnumerate) {
+      if (enum_next_ > top()) {
+        finish();
+        return;
+      }
+      if (!budget_allows(1)) return;
+      pending_.push_back({enum_next_, repetitions_});
+      return;
+    }
+    if (b_ - a_ <= 1.0) {
+      finish();
+      return;
+    }
+    if (!budget_allows(1)) return;
+    pending_.push_back(
+        {round_index(phase_ == Phase::kEvalC ? c_ : d_), repetitions_});
+  }
+
+  void note_best(std::uint32_t index, double objective) {
+    if (!best_.has_value() || objective < best_objective_ ||
+        (objective == best_objective_ && index < *best_)) {
+      best_ = index;
+      best_objective_ = objective;
+    }
+  }
+
+  void on_score(const ProbeRequest& probe,
+                const BenchmarkScore& score) override {
+    note_best(probe.input_index, score.objective);
+    switch (phase_) {
+      case Phase::kEnumerate:
+        ++enum_next_;
+        if (enum_next_ > top()) finish();
+        return;
+      case Phase::kEvalC:
+        fc_ = score.objective;
+        if (!have_fd_) {
+          phase_ = Phase::kEvalD;
+          return;
+        }
+        break;
+      case Phase::kEvalD:
+        fd_ = score.objective;
+        have_fd_ = true;
+        break;
+    }
+    // Both interior points scored: shrink toward the lower objective.
+    // fc <= fd keeps the left bracket on ties, matching the tie-to-the-
+    // lowest-index stance of note_best.
+    if (fc_ <= fd_) {
+      b_ = d_;
+      d_ = c_;
+      fd_ = fc_;
+      c_ = b_ - (b_ - a_) * kRho;
+      phase_ = Phase::kEvalC;
+    } else {
+      a_ = c_;
+      c_ = d_;
+      fc_ = fd_;
+      d_ = a_ + (b_ - a_) * kRho;
+      phase_ = Phase::kEvalD;
+    }
+  }
+
+  std::uint32_t repetitions_;
+  double a_ = 0.0;
+  double b_ = 0.0;
+  double c_ = 0.0;
+  double d_ = 0.0;
+  double fc_ = 0.0;
+  double fd_ = 0.0;
+  bool have_fd_ = false;
+  double best_objective_ = std::numeric_limits<double>::infinity();
+  Phase phase_ = Phase::kEvalC;
+  std::uint32_t enum_next_ = 0;
+};
+
+// ------------------------------------------------------ successive halving
+
+class SuccessiveHalvingController final : public LadderController {
+ public:
+  SuccessiveHalvingController(std::vector<double> ladder,
+                              std::uint32_t base_repetitions,
+                              std::uint32_t max_steps)
+      : LadderController(std::move(ladder), max_steps),
+        base_repetitions_(std::max(base_repetitions, 1u)) {
+    alive_.resize(top() + 1);
+    for (std::uint32_t i = 0; i <= top(); ++i) alive_[i] = i;
+  }
+
+  [[nodiscard]] const char* name() const override { return "halving"; }
+
+  [[nodiscard]] double bracket_width() const override {
+    if (alive_.empty()) return 0.0;
+    return rung(alive_.back()) - rung(alive_.front());
+  }
+
+ private:
+  [[nodiscard]] std::uint32_t round_repetitions() const {
+    // Doubling per round; the shift can't overflow for any real ladder
+    // (rounds <= log2(ladder size)).
+    return base_repetitions_ << std::min<std::uint32_t>(round_, 20);
+  }
+
+  void refill_batch() override {
+    if (alive_.size() <= 1) {
+      if (!alive_.empty()) best_ = alive_.front();
+      finish();
+      return;
+    }
+    // A round is scored as a unit; don't start one the budget can't
+    // finish (a half-scored round decides nothing).
+    if (!budget_allows(alive_.size())) return;
+    const std::uint32_t reps = round_repetitions();
+    for (const std::uint32_t index : alive_) pending_.push_back({index, reps});
+    round_scores_.clear();
+  }
+
+  void on_score(const ProbeRequest& probe,
+                const BenchmarkScore& score) override {
+    round_scores_.emplace_back(score.objective, probe.input_index);
+    if (!pending_.empty()) return;
+    // Round complete: keep the better half, objective ascending with ties
+    // to the lowest index (a total, deterministic order).
+    std::sort(round_scores_.begin(), round_scores_.end());
+    const std::size_t keep = (round_scores_.size() + 1) / 2;
+    alive_.clear();
+    for (std::size_t i = 0; i < keep; ++i)
+      alive_.push_back(round_scores_[i].second);
+    std::sort(alive_.begin(), alive_.end());
+    best_ = round_scores_.front().second;
+    ++round_;
+    if (alive_.size() <= 1) finish();
+  }
+
+  std::uint32_t base_repetitions_;
+  std::uint32_t round_ = 0;
+  std::vector<std::uint32_t> alive_;
+  std::vector<std::pair<double, std::uint32_t>> round_scores_;
+};
+
+}  // namespace
+
+std::unique_ptr<StepController> make_bisection_controller(
+    std::vector<double> ladder, std::uint32_t repetitions,
+    std::uint32_t max_steps) {
+  return std::make_unique<BisectionController>(std::move(ladder),
+                                               std::max(repetitions, 1u),
+                                               max_steps);
+}
+
+std::unique_ptr<StepController> make_golden_section_controller(
+    std::vector<double> ladder, std::uint32_t repetitions,
+    std::uint32_t max_steps) {
+  return std::make_unique<GoldenSectionController>(std::move(ladder),
+                                                   std::max(repetitions, 1u),
+                                                   max_steps);
+}
+
+std::unique_ptr<StepController> make_successive_halving_controller(
+    std::vector<double> ladder, std::uint32_t base_repetitions,
+    std::uint32_t max_steps) {
+  return std::make_unique<SuccessiveHalvingController>(
+      std::move(ladder), base_repetitions, max_steps);
+}
+
+}  // namespace adaptbf

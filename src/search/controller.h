@@ -1,0 +1,106 @@
+// Step controllers: the adjusting-stage decision logic of a search.
+//
+// A controller walks a fixed ascending ladder of candidate input values
+// (the probe grid's search axis, search/spec.h) by ladder INDEX — never
+// by raw value — so every probe it can ever request is a point the
+// workers' expanded grid already contains. Three strategies behind one
+// interface:
+//
+//   bisection           largest feasible input on a monotone-feasibility
+//                       ladder (max sustainable token rate)
+//   golden-section      minimize the objective over a unimodal ladder
+//                       (one controller gain)
+//   successive halving  race a candidate set, doubling the repetition
+//                       budget of the survivors each round (gain configs)
+//
+// The protocol is deliberately replay-friendly (search/driver.h resumes
+// a journal by replaying scored steps through a fresh controller):
+// next_probes() returns the UNFED remainder of the current batch, and
+// feed() consumes exactly its front. A resume that stopped mid-batch
+// re-requests only what was never scored, so the journal's step sequence
+// is a pure function of the score history.
+//
+// Controllers are pure decision logic: no simulator, no clock, no RNG.
+// tests/search/controller_property_test.cpp drives them against
+// function oracles over 1k randomized response curves.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "search/score.h"
+
+namespace adaptbf {
+
+/// One requested probe: run `repetitions` seeded repetitions at ladder
+/// point `input_index` and feed back the score of their mean metrics.
+struct ProbeRequest {
+  std::uint32_t input_index = 0;
+  std::uint32_t repetitions = 1;
+
+  [[nodiscard]] bool operator==(const ProbeRequest&) const = default;
+};
+
+class StepController {
+ public:
+  virtual ~StepController() = default;
+
+  /// Strategy name ("bisect", "golden", "halving") — journal/CLI label.
+  [[nodiscard]] virtual const char* name() const = 0;
+
+  /// The pending batch, front-first. Empty iff done(). Requests already
+  /// fed are not repeated; a mid-batch resume sees only the remainder.
+  [[nodiscard]] virtual std::vector<ProbeRequest> next_probes() = 0;
+
+  /// Scores the FRONT of the pending batch. `probe` must equal it
+  /// (defensive cross-check for the replay path).
+  virtual void feed(const ProbeRequest& probe, const BenchmarkScore& score) = 0;
+
+  /// No more probes: converged or out of budget.
+  [[nodiscard]] virtual bool done() const = 0;
+
+  /// done() because the step budget ran out, not because the bracket
+  /// closed — the answer is best-so-far, not converged.
+  [[nodiscard]] virtual bool exhausted() const = 0;
+
+  /// Ladder index of the current best answer; nullopt when no feasible
+  /// point was found (bisection with an infeasible lowest rung).
+  [[nodiscard]] virtual std::optional<std::uint32_t> best_index() const = 0;
+
+  /// Current uncertainty, in input units: the unresolved ladder span
+  /// (bisection/golden brackets, the alive-set span for halving).
+  [[nodiscard]] virtual double bracket_width() const = 0;
+
+  /// Scored steps so far (== journal step rows).
+  [[nodiscard]] virtual std::uint32_t steps_fed() const = 0;
+};
+
+/// Bisection for the LARGEST feasible ladder index, assuming feasibility
+/// is monotone non-increasing in the index. Probes the bottom rung first
+/// (infeasible => no answer), then the top (feasible => the top is the
+/// answer), then halves the bracket. Each probe runs `repetitions` reps.
+[[nodiscard]] std::unique_ptr<StepController> make_bisection_controller(
+    std::vector<double> ladder, std::uint32_t repetitions,
+    std::uint32_t max_steps);
+
+/// Golden-section minimization of the objective over ladder indices,
+/// assuming a unimodal response. Interior points are continuous and
+/// rounded to the nearest ladder index for probing; repeated rounds may
+/// re-request an index (the driver's memo answers without re-running
+/// trials). Stops when the continuous bracket narrows to one ladder
+/// step. Best = lowest objective probed (ties to the lowest index).
+[[nodiscard]] std::unique_ptr<StepController> make_golden_section_controller(
+    std::vector<double> ladder, std::uint32_t repetitions,
+    std::uint32_t max_steps);
+
+/// Successive halving over the whole ladder: round r scores every alive
+/// candidate at `base_repetitions << r` repetitions, keeps the better
+/// half (objective ascending, ties to the lowest index), and stops at a
+/// sole survivor. A round that would overrun `max_steps` is not started.
+[[nodiscard]] std::unique_ptr<StepController> make_successive_halving_controller(
+    std::vector<double> ladder, std::uint32_t base_repetitions,
+    std::uint32_t max_steps);
+
+}  // namespace adaptbf

@@ -1,0 +1,130 @@
+// The search driver: turns a StepController's probe requests into
+// simulator trials, journals everything, and resumes deterministically.
+//
+// Execution model. The probe grid (spec.h) pre-materializes every probe
+// the controller can request: trial (ladder point k, repetition j) sits
+// at grid index k * R + j, R = SearchSpec::grid_repetitions(). Each
+// controller batch becomes ONE executor call covering every trial row
+// the batch still needs; the executor runs them in-process (SweepRunner)
+// or fans them over TCP workers (DispatchCoordinator adaptive mode) and
+// returns the exact journal-row bytes, ordered by index. The driver
+// appends those rows, then feeds each request's score to the controller
+// and appends one `search_step` row per feed. Because rows within a
+// batch are appended in index order and step rows follow their batch,
+// the journal's byte stream is a pure function of the step history —
+// single-process, multi-worker, and kill-and-resume runs of the same
+// search produce byte-identical journals.
+//
+// Resume. scan_search_file() (journal.h) recovers the trial rows (the
+// result memo) and the step rows; run_search() replays each step through
+// a fresh controller, cross-checking it against next_probes() and the
+// recomputed score's verdict, then continues live from wherever the
+// journal stopped — including mid-batch, thanks to the controllers'
+// unfed-remainder protocol (controller.h).
+//
+// After the adjusting stage converges (or exhausts its budget with a
+// best-so-far answer), a testing stage re-scores the winning input over
+// SearchSpec::test_repetitions and journals a final stage="test" step
+// row — the journal's terminal marker.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "search/journal.h"
+#include "search/spec.h"
+#include "sweep/sweep_spec.h"
+#include "sweep/trial_sink.h"
+
+namespace adaptbf {
+
+class DispatchCoordinator;
+class MetricRegistry;
+
+/// Metric names the driver registers when SearchDriverOptions::metrics is
+/// set (naming scheme: docs/observability.md).
+inline constexpr char kMetricSearchSteps[] = "adaptbf_search_steps_total";
+inline constexpr char kMetricSearchProbeTrials[] =
+    "adaptbf_search_probe_trials_total";
+inline constexpr char kMetricSearchBracketWidth[] =
+    "adaptbf_search_bracket_width";
+inline constexpr char kMetricSearchBestInput[] = "adaptbf_search_best_input";
+inline constexpr char kMetricSearchConverged[] = "adaptbf_search_converged";
+
+/// Runs probe-grid trials on behalf of the driver. `indices` are grid
+/// indices (deduplicated, ascending); `rows_out` receives the EXACT
+/// journal-row bytes (trial_to_jsonl, no newline) in the same order.
+/// Returns "" on success, an error message otherwise.
+class ProbeExecutor {
+ public:
+  virtual ~ProbeExecutor() = default;
+  [[nodiscard]] virtual std::string run(
+      const std::vector<std::size_t>& indices,
+      std::vector<std::string>& rows_out) = 0;
+};
+
+/// In-process execution: a SweepRunner over the requested trial subset.
+/// `trials` must outlive the executor. `threads` as SweepRunner::Options;
+/// `metrics` (optional) receives the runner's per-trial series.
+[[nodiscard]] std::unique_ptr<ProbeExecutor> make_local_probe_executor(
+    std::span<const TrialSpec> trials, std::uint32_t threads,
+    MetricRegistry* metrics);
+
+/// TCP fan-out: serve_trials() on an adaptive-mode coordinator
+/// (DispatchCoordinator::open_adaptive). The coordinator must outlive the
+/// executor; the caller calls finish() on it after run_search returns.
+[[nodiscard]] std::unique_ptr<ProbeExecutor> make_dispatch_probe_executor(
+    DispatchCoordinator& coordinator);
+
+struct SearchDriverOptions {
+  /// Journal durability knobs (tests disable fsync).
+  JsonlSinkOptions sink{};
+  /// Optional telemetry: steps/probe-trial counters plus bracket-width,
+  /// best-input, and converged gauges. Must outlive run_search().
+  MetricRegistry* metrics = nullptr;
+  /// Called after every step row lands (replayed steps included, so a
+  /// resumed watcher sees the full history).
+  std::function<void(const SearchStepRow&)> on_step;
+};
+
+struct SearchOutcome {
+  std::string error;  ///< Non-empty: the search did not finish.
+
+  /// The adjusting stage closed its bracket (false = budget exhausted;
+  /// best_index is then best-so-far).
+  bool converged = false;
+  /// A feasible answer exists AND the testing stage upheld it.
+  bool feasible = false;
+  std::optional<std::uint32_t> best_index;
+  double best_input = 0.0;  ///< Ladder value at best_index.
+  /// Testing-stage means at the answer (valid iff best_index).
+  ProbeMetrics test_metrics;
+  Verdict test_verdict = Verdict::kLower;
+
+  std::uint32_t steps = 0;           ///< Total step rows, test included.
+  std::uint32_t steps_replayed = 0;  ///< Of those, recovered from journal.
+  std::uint64_t trials_run = 0;      ///< NEW trials this run.
+  double bracket = 0.0;              ///< Final bracket width (input units).
+  bool resumed = false;
+
+  [[nodiscard]] bool ok() const { return error.empty(); }
+};
+
+/// Runs (or resumes) the search to completion. `trials` is the expanded
+/// probe grid of spec.probe_sweep(base) — the k * R + j layout is
+/// validated up front — and `sweep_name` / the grid hash stamp the
+/// journal at `journal_path`. An existing journal requires resume=true
+/// and must match the sweep, grid, and search hash.
+[[nodiscard]] SearchOutcome run_search(const SearchSpec& spec,
+                                       const std::string& sweep_name,
+                                       std::span<const TrialSpec> trials,
+                                       const std::string& journal_path,
+                                       bool resume, ProbeExecutor& executor,
+                                       SearchDriverOptions options = {});
+
+}  // namespace adaptbf

@@ -1,0 +1,178 @@
+#include "search/score.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/check.h"
+#include "support/ini.h"
+#include "support/json.h"
+#include "sweep/sweep_runner.h"
+
+namespace adaptbf {
+
+const char* MetricSpec::name() const {
+  switch (metric) {
+    case SearchMetric::kP50Ms: return "p50_ms";
+    case SearchMetric::kP95Ms: return "p95_ms";
+    case SearchMetric::kP99Ms: return "p99_ms";
+    case SearchMetric::kFairness: return "jain";
+    case SearchMetric::kMibps: return "mibps";
+  }
+  return "?";
+}
+
+bool MetricSpec::lower_is_better() const {
+  switch (metric) {
+    case SearchMetric::kP50Ms:
+    case SearchMetric::kP95Ms:
+    case SearchMetric::kP99Ms:
+      return true;
+    case SearchMetric::kFairness:
+    case SearchMetric::kMibps:
+      return false;
+  }
+  return true;
+}
+
+std::optional<SearchMetric> search_metric_from_name(std::string_view name) {
+  if (name == "p50_ms") return SearchMetric::kP50Ms;
+  if (name == "p95_ms") return SearchMetric::kP95Ms;
+  if (name == "p99_ms") return SearchMetric::kP99Ms;
+  if (name == "jain") return SearchMetric::kFairness;
+  if (name == "mibps") return SearchMetric::kMibps;
+  return std::nullopt;
+}
+
+std::string Threshold::str() const {
+  std::string out = MetricSpec{metric}.name();
+  out += cmp == Cmp::kLe ? "<=" : ">=";
+  out += json_num(bound);
+  return out;
+}
+
+SloParseResult parse_slo(std::string_view text) {
+  SloParseResult result;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const std::size_t comma = text.find(',', start);
+    const std::string_view raw = text.substr(
+        start, comma == std::string_view::npos ? std::string_view::npos
+                                               : comma - start);
+    const std::string_view term = trim(raw);
+    if (term.empty()) {
+      result.error = "empty SLO term (expected metric<=N or metric>=N)";
+      return result;
+    }
+    std::size_t op = term.find("<=");
+    Threshold threshold;
+    if (op != std::string_view::npos) {
+      threshold.cmp = Threshold::Cmp::kLe;
+    } else {
+      op = term.find(">=");
+      if (op == std::string_view::npos) {
+        result.error = "SLO term '" + std::string(term) +
+                       "' has no <= or >= comparator";
+        return result;
+      }
+      threshold.cmp = Threshold::Cmp::kGe;
+    }
+    const std::string_view name = trim(term.substr(0, op));
+    const auto metric = search_metric_from_name(name);
+    if (!metric.has_value()) {
+      result.error = "unknown SLO metric '" + std::string(name) +
+                     "' (p50_ms|p95_ms|p99_ms|jain|mibps)";
+      return result;
+    }
+    threshold.metric = *metric;
+    const std::string_view bound_text = trim(term.substr(op + 2));
+    if (!parse_double(bound_text, threshold.bound)) {
+      result.error = "bad SLO bound '" + std::string(bound_text) + "' in '" +
+                     std::string(term) + "'";
+      return result;
+    }
+    result.thresholds.push_back(threshold);
+    if (comma == std::string_view::npos) break;
+    start = comma + 1;
+  }
+  if (result.thresholds.empty())
+    result.error = "empty SLO expression (expected e.g. p99_ms<=250)";
+  return result;
+}
+
+double ProbeMetrics::value_of(SearchMetric metric) const {
+  switch (metric) {
+    case SearchMetric::kP50Ms: return p50_ms;
+    case SearchMetric::kP95Ms: return p95_ms;
+    case SearchMetric::kP99Ms: return p99_ms;
+    case SearchMetric::kFairness: return fairness;
+    case SearchMetric::kMibps: return mibps;
+  }
+  return 0.0;
+}
+
+ProbeMetrics mean_metrics(const std::vector<TrialResult>& rows) {
+  ADAPTBF_CHECK_MSG(!rows.empty(), "mean_metrics needs at least one row");
+  ProbeMetrics mean;
+  for (const TrialResult& row : rows) {
+    mean.mibps += row.aggregate_mibps;
+    mean.fairness += row.fairness;
+    mean.p50_ms += row.p50_ms;
+    mean.p95_ms += row.p95_ms;
+    mean.p99_ms += row.p99_ms;
+  }
+  const double n = static_cast<double>(rows.size());
+  mean.mibps /= n;
+  mean.fairness /= n;
+  mean.p50_ms /= n;
+  mean.p95_ms /= n;
+  mean.p99_ms /= n;
+  return mean;
+}
+
+const char* verdict_name(Verdict verdict) {
+  switch (verdict) {
+    case Verdict::kLower: return "lower";
+    case Verdict::kPass: return "pass";
+    case Verdict::kRaise: return "raise";
+  }
+  return "?";
+}
+
+std::optional<Verdict> verdict_from_name(std::string_view name) {
+  if (name == "lower") return Verdict::kLower;
+  if (name == "pass") return Verdict::kPass;
+  if (name == "raise") return Verdict::kRaise;
+  return std::nullopt;
+}
+
+BenchmarkScore score_probe(const ProbeMetrics& metrics,
+                           const std::vector<Threshold>& slo,
+                           MetricSpec objective, double pass_margin) {
+  ADAPTBF_CHECK_MSG(!slo.empty(), "score_probe needs at least one threshold");
+  BenchmarkScore score;
+  // Normalized headroom per threshold: positive = met with that fraction
+  // of the bound to spare, negative = violated. Normalizing by the bound
+  // makes one pass_margin meaningful across metrics of different scales
+  // (250 ms vs a 0.9 fairness index).
+  double worst = std::numeric_limits<double>::infinity();
+  for (const Threshold& threshold : slo) {
+    const double value = metrics.value_of(threshold.metric);
+    const double denom = std::max(std::fabs(threshold.bound), 1e-12);
+    const double margin = threshold.cmp == Threshold::Cmp::kLe
+                              ? (threshold.bound - value) / denom
+                              : (value - threshold.bound) / denom;
+    worst = std::min(worst, margin);
+  }
+  score.worst_margin = worst;
+  if (worst < 0.0)
+    score.verdict = Verdict::kLower;
+  else if (worst <= pass_margin)
+    score.verdict = Verdict::kPass;
+  else
+    score.verdict = Verdict::kRaise;
+  const double value = metrics.value_of(objective.metric);
+  score.objective = objective.lower_is_better() ? value : -value;
+  return score;
+}
+
+}  // namespace adaptbf

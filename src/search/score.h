@@ -1,0 +1,126 @@
+// Typed scoring/feedback primitives for closed-loop adaptive campaigns.
+//
+// A search probe runs a handful of seeded repetitions at one input value
+// and reduces them to a ProbeMetrics (per-metric means). score_probe()
+// evaluates that against the campaign's SLO thresholds and produces a
+// BenchmarkScore: a pass/lower/raise verdict plus a scalar objective the
+// controllers optimize. The verdict vocabulary follows the adaptive-load
+// convention: `lower` means the SLO is violated and the input must come
+// down, `raise` means it is met with more headroom than the pass margin
+// allows, `pass` means the probe sits inside the margin band around the
+// SLO boundary — the operating point the adjusting stage is hunting.
+//
+// SLO expression grammar (sweep_cli --slo, [search] slo = ...):
+//
+//   expr      := term (',' term)*
+//   term      := metric cmp number
+//   metric    := p50_ms | p95_ms | p99_ms | jain | mibps
+//   cmp       := '<=' | '>='
+//
+// e.g. "p99_ms<=250,jain>=0.9". Whitespace around terms is trimmed;
+// anything else is a parse error (strict, like every config surface).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace adaptbf {
+
+struct TrialResult;
+
+/// Scalar metrics a search can threshold or optimize. All are campaign
+/// aggregates the trial rows already carry (sweep/sweep_runner.h).
+enum class SearchMetric {
+  kP50Ms,
+  kP95Ms,
+  kP99Ms,
+  kFairness,  ///< Jain's index, SLO name "jain".
+  kMibps,
+};
+
+/// One metric with its optimization direction baked in: latencies are
+/// lower-is-better; fairness and throughput are higher-is-better (their
+/// objective is negated so controllers always minimize).
+struct MetricSpec {
+  SearchMetric metric = SearchMetric::kP99Ms;
+
+  /// SLO-grammar name ("p99_ms", "jain", ...).
+  [[nodiscard]] const char* name() const;
+  [[nodiscard]] bool lower_is_better() const;
+};
+
+/// Name -> metric ("p99_ms", "jain", ...); nullopt for anything else.
+[[nodiscard]] std::optional<SearchMetric> search_metric_from_name(
+    std::string_view name);
+
+/// One SLO term: `metric cmp bound`.
+struct Threshold {
+  enum class Cmp { kLe, kGe };
+  SearchMetric metric = SearchMetric::kP99Ms;
+  Cmp cmp = Cmp::kLe;
+  double bound = 0.0;
+
+  /// Canonical text form ("p99_ms<=250"), display precision.
+  [[nodiscard]] std::string str() const;
+};
+
+/// Parsed --slo expression; `error` names the offending term on failure.
+struct SloParseResult {
+  std::vector<Threshold> thresholds;
+  std::string error;
+  [[nodiscard]] bool ok() const { return error.empty(); }
+};
+
+/// Strict parse of the SLO grammar above. Empty input is an error (a
+/// search without thresholds has no boundary to find).
+[[nodiscard]] SloParseResult parse_slo(std::string_view text);
+
+/// Per-metric means over one probe's repetitions.
+struct ProbeMetrics {
+  double mibps = 0.0;
+  double fairness = 0.0;
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+  double p99_ms = 0.0;
+
+  [[nodiscard]] double value_of(SearchMetric metric) const;
+};
+
+/// Mean metrics over a probe's trial rows (repetitions of one input).
+/// Requires a non-empty span.
+[[nodiscard]] ProbeMetrics mean_metrics(const std::vector<TrialResult>& rows);
+
+enum class Verdict {
+  kLower,  ///< An SLO is violated: the input must come down.
+  kPass,   ///< All SLOs met, inside the margin band around the boundary.
+  kRaise,  ///< All SLOs met with headroom beyond the margin: push harder.
+};
+
+[[nodiscard]] const char* verdict_name(Verdict verdict);
+[[nodiscard]] std::optional<Verdict> verdict_from_name(std::string_view name);
+
+/// One scored probe: the controllers' entire feedback signal.
+struct BenchmarkScore {
+  Verdict verdict = Verdict::kLower;
+  /// Objective value (lower is better; higher-is-better metrics are
+  /// negated). What golden-section and successive-halving minimize.
+  double objective = 0.0;
+  /// Tightest normalized SLO headroom across thresholds: negative iff
+  /// some threshold is violated; pass iff 0 <= worst_margin <= margin.
+  double worst_margin = 0.0;
+
+  /// Feasible = no SLO violated (pass or raise).
+  [[nodiscard]] bool feasible() const { return verdict != Verdict::kLower; }
+};
+
+/// Evaluates one probe's mean metrics against the SLO set. `pass_margin`
+/// is the normalized headroom band that separates kPass from kRaise
+/// (margin as a fraction of the bound). `thresholds` must be non-empty.
+[[nodiscard]] BenchmarkScore score_probe(const ProbeMetrics& metrics,
+                                         const std::vector<Threshold>& slo,
+                                         MetricSpec objective,
+                                         double pass_margin);
+
+}  // namespace adaptbf

@@ -1,0 +1,183 @@
+#include "search/spec.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/fnv.h"
+#include "support/json.h"
+
+namespace adaptbf {
+
+namespace {
+
+/// Halving rounds from `n` candidates to a sole survivor.
+std::uint32_t halving_rounds(std::size_t n) {
+  std::uint32_t rounds = 0;
+  while (n > 1) {
+    n = (n + 1) / 2;
+    ++rounds;
+  }
+  return rounds;
+}
+
+/// Ladder value rendered for scenario-variant labels. Round-trip exact so
+/// two distinct ladder values can never collide into one label (labels
+/// are grid-cell identity).
+std::string input_label(double value) { return json_num_exact(value); }
+
+}  // namespace
+
+const char* search_controller_name(SearchControllerKind kind) {
+  switch (kind) {
+    case SearchControllerKind::kBisect: return "bisect";
+    case SearchControllerKind::kGolden: return "golden";
+    case SearchControllerKind::kHalving: return "halving";
+  }
+  return "?";
+}
+
+const char* search_input_name(SearchInput input) {
+  switch (input) {
+    case SearchInput::kTokenRate: return "token_rate";
+    case SearchInput::kEwmaAlpha: return "ewma_alpha";
+    case SearchInput::kBucketDepth: return "bucket_depth";
+  }
+  return "?";
+}
+
+std::vector<double> SearchSpec::inputs() const {
+  std::vector<double> values = ladder;
+  if (values.empty() && points >= 2 && hi > lo) {
+    values.reserve(points);
+    for (std::uint32_t i = 0; i < points; ++i)
+      values.push_back(lo + (hi - lo) * static_cast<double>(i) /
+                                static_cast<double>(points - 1));
+  }
+  std::sort(values.begin(), values.end());
+  values.erase(std::unique(values.begin(), values.end()), values.end());
+  return values;
+}
+
+std::string SearchSpec::validate(const SweepSpec& base) const {
+  if (base.scenarios.size() != 1)
+    return "search needs exactly one base scenario (got " +
+           std::to_string(base.scenarios.size()) + ")";
+  if (base.policies.size() != 1)
+    return "search needs exactly one policy (got " +
+           std::to_string(base.policies.size()) + ")";
+  if (base.ost_counts.size() > 1)
+    return "search cannot ride a multi-valued osts axis";
+  if (input == SearchInput::kTokenRate) {
+    if (!base.token_rates.empty())
+      return "searching token_rate: drop the [grid] token_rate axis (the "
+             "search ladder becomes that axis)";
+  } else if (base.token_rates.size() > 1) {
+    return "search cannot ride a multi-valued token_rate axis";
+  }
+  const std::vector<double> values = inputs();
+  if (values.size() < 2)
+    return "search ladder needs at least 2 distinct values (ladder = "
+           "<comma list>, or lo/hi/points)";
+  for (const double value : values) {
+    switch (input) {
+      case SearchInput::kTokenRate:
+        if (value <= 0.0)
+          return "token_rate ladder values must be positive";
+        break;
+      case SearchInput::kEwmaAlpha:
+        if (!(value > 0.0 && value <= 1.0))
+          return "ewma_alpha ladder values must be in (0, 1]";
+        break;
+      case SearchInput::kBucketDepth:
+        if (value <= 0.0)
+          return "bucket_depth ladder values must be positive";
+        break;
+    }
+  }
+  if (slo.empty()) return "search needs an SLO (slo = p99_ms<=N, ...)";
+  if (budget == 0) return "search budget must be >= 1";
+  if (probe_repetitions == 0) return "probe_repetitions must be >= 1";
+  if (test_repetitions == 0) return "test_repetitions must be >= 1";
+  if (!(pass_margin >= 0.0)) return "pass_margin must be >= 0";
+  return "";
+}
+
+std::uint32_t SearchSpec::grid_repetitions() const {
+  std::uint32_t probe_max = probe_repetitions;
+  if (controller == SearchControllerKind::kHalving) {
+    const std::uint32_t rounds = halving_rounds(inputs().size());
+    if (rounds > 0)
+      probe_max = probe_repetitions
+                  << std::min<std::uint32_t>(rounds - 1, 20);
+  }
+  return std::max(probe_max, test_repetitions);
+}
+
+SweepSpec SearchSpec::probe_sweep(const SweepSpec& base) const {
+  SweepSpec probe = base;
+  probe.repetitions = grid_repetitions();
+  const std::vector<double> values = inputs();
+  if (input == SearchInput::kTokenRate) {
+    probe.token_rates = values;
+    return probe;
+  }
+  // Gain ladders become scenario variants: the outermost grid axis, one
+  // labeled copy of the base scenario per rung. Labels carry the exact
+  // value, so the grid hash (which folds in cell ids) fingerprints the
+  // ladder for the workers' hello.
+  const SweepScenario base_scenario = probe.scenarios.front();
+  probe.scenarios.clear();
+  probe.scenarios.reserve(values.size());
+  for (const double value : values) {
+    SweepScenario variant = base_scenario;
+    variant.label += "@";
+    variant.label += search_input_name(input);
+    variant.label += "=";
+    variant.label += input_label(value);
+    if (input == SearchInput::kEwmaAlpha)
+      variant.spec.ewma_alpha = value;
+    else
+      variant.spec.bucket_depth = value;
+    probe.scenarios.push_back(std::move(variant));
+  }
+  return probe;
+}
+
+std::uint64_t SearchSpec::search_hash() const {
+  Fnv1a fnv;
+  fnv.u64(static_cast<std::uint64_t>(controller));
+  fnv.u64(static_cast<std::uint64_t>(input));
+  const std::vector<double> values = inputs();
+  fnv.u64(values.size());
+  for (const double value : values) fnv.f64(value);
+  fnv.u64(slo.size());
+  for (const Threshold& threshold : slo) {
+    fnv.u64(static_cast<std::uint64_t>(threshold.metric));
+    fnv.u64(static_cast<std::uint64_t>(threshold.cmp));
+    fnv.f64(threshold.bound);
+  }
+  fnv.u64(static_cast<std::uint64_t>(objective.metric));
+  fnv.f64(pass_margin);
+  fnv.u64(budget);
+  fnv.u64(probe_repetitions);
+  fnv.u64(test_repetitions);
+  return fnv.value();
+}
+
+std::unique_ptr<StepController> SearchSpec::make_controller() const {
+  std::vector<double> values = inputs();
+  switch (controller) {
+    case SearchControllerKind::kBisect:
+      return make_bisection_controller(std::move(values), probe_repetitions,
+                                       budget);
+    case SearchControllerKind::kGolden:
+      return make_golden_section_controller(std::move(values),
+                                            probe_repetitions, budget);
+    case SearchControllerKind::kHalving:
+      return make_successive_halving_controller(std::move(values),
+                                                probe_repetitions, budget);
+  }
+  return nullptr;
+}
+
+}  // namespace adaptbf

@@ -1,0 +1,41 @@
+// FNV-1a 64-bit over typed fields, the fingerprint primitive behind the
+// campaign grid hash (sweep/resume.h) and the search-config hash
+// (search/spec.h). Strings are length-prefixed so field boundaries
+// cannot alias; doubles hash their IEEE-754 bits, so two configs hash
+// equal iff their values are bit-identical — the same standard the
+// journals hold doubles to (support/json.h json_num_exact).
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string_view>
+
+namespace adaptbf {
+
+class Fnv1a {
+ public:
+  void bytes(const void* data, std::size_t n) {
+    const auto* p = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < n; ++i) {
+      hash_ ^= p[i];
+      hash_ *= 1099511628211ull;
+    }
+  }
+  void u64(std::uint64_t v) { bytes(&v, sizeof(v)); }
+  void i64(std::int64_t v) { bytes(&v, sizeof(v)); }
+  void f64(double v) {
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &v, sizeof(bits));
+    u64(bits);
+  }
+  void str(std::string_view s) {
+    u64(s.size());
+    bytes(s.data(), s.size());
+  }
+  [[nodiscard]] std::uint64_t value() const { return hash_; }
+
+ private:
+  std::uint64_t hash_ = 1469598103934665603ull;
+};
+
+}  // namespace adaptbf

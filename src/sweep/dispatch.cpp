@@ -2,6 +2,7 @@
 
 #include <poll.h>
 
+#include <algorithm>
 #include <atomic>
 #include <charconv>
 #include <chrono>
@@ -288,6 +289,11 @@ struct DispatchCoordinator::Impl {
 
   std::vector<bool> have;
   std::size_t rows_done = 0;  ///< Journaled trials, resumed rows included.
+  /// Adaptive mode (open_adaptive): no sink, no fixed work list. Rows are
+  /// collected in memory for serve_trials() instead of journaled, and the
+  /// campaign never "completes" on its own — finish() ends it.
+  bool adaptive = false;
+  std::map<std::size_t, std::string> collected;  ///< Adaptive: raw row bytes.
   std::deque<std::vector<std::size_t>> queue;
   std::map<std::uint64_t, LeaseState> leases;
   std::uint64_t next_lease_id = 1;
@@ -536,7 +542,9 @@ struct DispatchCoordinator::Impl {
                                     : "request before hello");
           return;
         }
-        if (rows_done == trials.size()) {
+        // Adaptive mode has no fixed finish line — workers park on `wait`
+        // between batches until finish() releases them.
+        if (!adaptive && rows_done == trials.size()) {
           (void)write_frame(conn.socket, dispatch_wire::done());
           evict(conn);
           return;
@@ -563,7 +571,10 @@ struct DispatchCoordinator::Impl {
           rows_duplicate_metric->inc();
           if (conn.dup_metric != nullptr) conn.dup_metric->inc();
         } else {
-          sink->append(row);  // Throws on I/O failure; serve() catches.
+          if (adaptive)
+            collected[row.index] = msg.row;  // Caller journals; exact bytes.
+          else
+            sink->append(row);  // Throws on I/O failure; serve() catches.
           have[row.index] = true;
           ++rows_done;
           ++stats.rows_received;
@@ -670,11 +681,90 @@ struct DispatchCoordinator::Impl {
     });
   }
 
+  /// One accept/read/sweep/dispatch round: poll (<= 50 ms), accept new
+  /// connections, drain complete frames, drop silent connections, erase
+  /// the dead, and push freed leases to parked workers. The body of both
+  /// serve modes; throws on poll or journal I/O failure.
+  void poll_round(std::chrono::duration<double> lease_timeout) {
+    std::vector<pollfd> fds;
+    fds.reserve(conns.size() + 1);
+    fds.push_back({listener.fd(), POLLIN, 0});
+    for (const auto& conn : conns)
+      fds.push_back({conn->socket.fd(), POLLIN, 0});
+    const int ready = ::poll(fds.data(), fds.size(), /*timeout=*/50);
+    if (ready < 0 && errno != EINTR)
+      throw std::runtime_error("dispatch poll failed");
+
+    if (fds[0].revents & POLLIN) {
+      TcpSocket accepted = listener.accept_one();
+      if (accepted.valid()) {
+        auto conn = std::make_unique<Conn>();
+        conn->socket = std::move(accepted);
+        conn->last_activity = Clock::now();
+        conns.push_back(std::move(conn));
+      }
+    }
+
+    // fds[1 + i] is conns[i]; connections accepted above aren't in
+    // fds yet and get their first read next round.
+    for (std::size_t i = 0; i + 1 < fds.size(); ++i) {
+      Conn& conn = *conns[i];
+      if (conn.dead || !(fds[i + 1].revents & (POLLIN | POLLHUP))) continue;
+      char buffer[64 * 1024];
+      const long got = conn.socket.recv_some(buffer, sizeof(buffer));
+      if (got <= 0) {
+        evict(conn);  // EOF or error: a dead worker's lease re-queues.
+        continue;
+      }
+      rx_bytes_metric->inc(static_cast<std::uint64_t>(got));
+      conn.reader.feed(buffer, static_cast<std::size_t>(got));
+      std::string payload, frame_error;
+      for (;;) {
+        if (conn.dead) break;
+        const FrameReader::Status status =
+            conn.reader.next(payload, frame_error);
+        if (status == FrameReader::Status::kNeedMore) break;
+        if (status == FrameReader::Status::kBad) {
+          reject(conn, frame_error);
+          break;
+        }
+        frames_metric->inc();
+        handle_frame(conn, payload);
+      }
+    }
+
+    // Silence sweep: ANY connection that has sent nothing for the
+    // timeout is dropped (and a held lease re-queued). Workers
+    // heartbeat for their whole lifetime — hello through done — at a
+    // cadence well under the timeout, so this only trips genuinely
+    // hung/dead workers and strangers (port scanners, health probes)
+    // that would otherwise hold an fd and a poll slot forever.
+    const auto now = Clock::now();
+    for (auto& conn : conns) {
+      if (!conn->dead && now - conn->last_activity > lease_timeout) {
+        ADAPTBF_LOG_WARN("dispatch",
+                         "connection silent past the %.1fs lease timeout "
+                         "(worker %u); dropping it",
+                         lease_timeout.count(), conn->id);
+        evict(*conn);
+      }
+    }
+
+    std::erase_if(conns, [](const std::unique_ptr<Conn>& conn) {
+      return conn->dead;
+    });
+    dispatch_to_waiting();
+  }
+
+  [[nodiscard]] std::chrono::duration<double> lease_timeout() const {
+    return std::chrono::duration<double>(
+        options.lease_timeout_s > 0 ? options.lease_timeout_s : 30.0);
+  }
+
   DispatchServeResult serve() {
     stats = DispatchServeResult{};
     serve_start = Clock::now();
-    const auto lease_timeout = std::chrono::duration<double>(
-        options.lease_timeout_s > 0 ? options.lease_timeout_s : 30.0);
+    const auto timeout = lease_timeout();
     Clock::time_point linger_deadline{};
     try {
       while (!stop.load(std::memory_order_relaxed)) {
@@ -697,75 +787,7 @@ struct DispatchCoordinator::Impl {
           }
           if (Clock::now() >= linger_deadline) break;
         }
-
-        std::vector<pollfd> fds;
-        fds.reserve(conns.size() + 1);
-        fds.push_back({listener.fd(), POLLIN, 0});
-        for (const auto& conn : conns)
-          fds.push_back({conn->socket.fd(), POLLIN, 0});
-        const int ready = ::poll(fds.data(), fds.size(), /*timeout=*/50);
-        if (ready < 0 && errno != EINTR)
-          throw std::runtime_error("dispatch poll failed");
-
-        if (fds[0].revents & POLLIN) {
-          TcpSocket accepted = listener.accept_one();
-          if (accepted.valid()) {
-            auto conn = std::make_unique<Conn>();
-            conn->socket = std::move(accepted);
-            conn->last_activity = Clock::now();
-            conns.push_back(std::move(conn));
-          }
-        }
-
-        // fds[1 + i] is conns[i]; connections accepted above aren't in
-        // fds yet and get their first read next round.
-        for (std::size_t i = 0; i + 1 < fds.size(); ++i) {
-          Conn& conn = *conns[i];
-          if (conn.dead || !(fds[i + 1].revents & (POLLIN | POLLHUP))) continue;
-          char buffer[64 * 1024];
-          const long got = conn.socket.recv_some(buffer, sizeof(buffer));
-          if (got <= 0) {
-            evict(conn);  // EOF or error: a dead worker's lease re-queues.
-            continue;
-          }
-          rx_bytes_metric->inc(static_cast<std::uint64_t>(got));
-          conn.reader.feed(buffer, static_cast<std::size_t>(got));
-          std::string payload, frame_error;
-          for (;;) {
-            if (conn.dead) break;
-            const FrameReader::Status status =
-                conn.reader.next(payload, frame_error);
-            if (status == FrameReader::Status::kNeedMore) break;
-            if (status == FrameReader::Status::kBad) {
-              reject(conn, frame_error);
-              break;
-            }
-            frames_metric->inc();
-            handle_frame(conn, payload);
-          }
-        }
-
-        // Silence sweep: ANY connection that has sent nothing for the
-        // timeout is dropped (and a held lease re-queued). Workers
-        // heartbeat for their whole lifetime — hello through done — at a
-        // cadence well under the timeout, so this only trips genuinely
-        // hung/dead workers and strangers (port scanners, health probes)
-        // that would otherwise hold an fd and a poll slot forever.
-        const auto now = Clock::now();
-        for (auto& conn : conns) {
-          if (!conn->dead && now - conn->last_activity > lease_timeout) {
-            ADAPTBF_LOG_WARN("dispatch",
-                             "connection silent past the %.1fs lease timeout "
-                             "(worker %u); dropping it",
-                             lease_timeout.count(), conn->id);
-            evict(*conn);
-          }
-        }
-
-        std::erase_if(conns, [](const std::unique_ptr<Conn>& conn) {
-          return conn->dead;
-        });
-        dispatch_to_waiting();
+        poll_round(timeout);
       }
     } catch (const std::exception& e) {
       stats.error = e.what();
@@ -787,6 +809,72 @@ struct DispatchCoordinator::Impl {
     }
     return stats;
   }
+
+  /// Adaptive mode: lease out exactly `indices` (the not-yet-collected
+  /// ones), block until every requested row arrived, and hand back the
+  /// exact bytes in request order. Workers stay parked afterwards.
+  std::string serve_trials(const std::vector<std::size_t>& indices,
+                           std::vector<std::string>& rows_out) {
+    rows_out.clear();
+    for (const std::size_t index : indices)
+      if (index >= trials.size())
+        return "serve_trials: trial index " + std::to_string(index) +
+               " outside the probe grid";
+    // Queue only the missing ones, in index order, lease_size per chunk.
+    std::vector<std::size_t> todo;
+    for (const std::size_t index : indices)
+      if (!have[index]) todo.push_back(index);
+    std::sort(todo.begin(), todo.end());
+    todo.erase(std::unique(todo.begin(), todo.end()), todo.end());
+    std::vector<std::size_t> chunk;
+    for (const std::size_t index : todo) {
+      chunk.push_back(index);
+      if (chunk.size() == options.lease_size) {
+        queue.push_back(std::move(chunk));
+        chunk.clear();
+      }
+    }
+    if (!chunk.empty()) queue.push_back(std::move(chunk));
+
+    const auto timeout = lease_timeout();
+    try {
+      dispatch_to_waiting();
+      for (;;) {
+        bool missing = false;
+        for (const std::size_t index : todo)
+          if (!have[index]) { missing = true; break; }
+        if (!missing) break;
+        if (stop.load(std::memory_order_relaxed))
+          return "serve_trials: stopped before the batch completed";
+        poll_round(timeout);
+      }
+    } catch (const std::exception& e) {
+      return e.what();
+    }
+    rows_out.reserve(indices.size());
+    for (const std::size_t index : indices)
+      rows_out.push_back(collected.at(index));
+    return "";
+  }
+
+  /// Adaptive mode: end of the search — release the fleet, then keep the
+  /// listener answering stats polls for linger_s.
+  void finish() {
+    release_workers();
+    const auto deadline =
+        Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                           std::chrono::duration<double>(
+                               options.linger_s > 0 ? options.linger_s : 0.0));
+    const auto timeout = lease_timeout();
+    try {
+      while (!stop.load(std::memory_order_relaxed) && Clock::now() < deadline)
+        poll_round(timeout);
+    } catch (const std::exception&) {
+      // Linger is best-effort; the search result is already decided.
+    }
+    release_workers();
+    conns.clear();
+  }
 };
 
 DispatchCoordinator::DispatchCoordinator() : impl_(new Impl) {}
@@ -801,6 +889,43 @@ void DispatchCoordinator::request_stop() {
 }
 
 DispatchServeResult DispatchCoordinator::serve() { return impl_->serve(); }
+
+std::string DispatchCoordinator::serve_trials(
+    const std::vector<std::size_t>& indices,
+    std::vector<std::string>& rows_out) {
+  return impl_->serve_trials(indices, rows_out);
+}
+
+void DispatchCoordinator::finish() { impl_->finish(); }
+
+MetricRegistry& DispatchCoordinator::registry() { return impl_->metrics; }
+
+DispatchCoordinator::Open DispatchCoordinator::open_adaptive(
+    const std::string& sweep_name, std::span<const TrialSpec> trials,
+    Options options) {
+  Open result;
+  std::unique_ptr<DispatchCoordinator> coordinator(new DispatchCoordinator);
+  Impl& impl = *coordinator->impl_;
+  impl.sweep_name = sweep_name;
+  impl.trials = trials;
+  impl.grid_hash = sweep_grid_hash(trials);
+  impl.options = options;
+  if (impl.options.lease_size == 0) impl.options.lease_size = 1;
+  impl.init_metrics();
+  impl.adaptive = true;
+  impl.have.assign(trials.size(), false);
+  impl.serve_start = Clock::now();
+
+  TcpListener::ListenResult listening = TcpListener::listen_on(options.port);
+  if (!listening.ok()) {
+    result.error = "cannot listen on port " + std::to_string(options.port) +
+                   ": " + listening.error;
+    return result;
+  }
+  impl.listener = std::move(listening.listener);
+  result.coordinator = std::move(coordinator);
+  return result;
+}
 
 DispatchCoordinator::Open DispatchCoordinator::open(
     const std::string& journal_path, const std::string& sweep_name,

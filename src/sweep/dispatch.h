@@ -260,6 +260,17 @@ class DispatchCoordinator {
                                  std::span<const TrialSpec> trials,
                                  bool resume, Options options = {});
 
+  /// Adaptive mode (search/driver.h): no journal and no fixed work list —
+  /// the caller decides which trials to run, batch by batch, with
+  /// serve_trials(). Workers are indistinguishable from campaign workers:
+  /// they hello against the same grid, lease index batches, stream rows,
+  /// and park on `wait` between batches (heartbeats keep them past the
+  /// silence sweep). The caller owns journaling; the coordinator only
+  /// validates rows and returns their exact bytes.
+  [[nodiscard]] static Open open_adaptive(const std::string& sweep_name,
+                                          std::span<const TrialSpec> trials,
+                                          Options options = {});
+
   ~DispatchCoordinator();
   DispatchCoordinator(const DispatchCoordinator&) = delete;
   DispatchCoordinator& operator=(const DispatchCoordinator&) = delete;
@@ -273,6 +284,26 @@ class DispatchCoordinator {
   /// journal is flushed before returning, so even a stopped serve leaves
   /// a valid, resumable journal behind.
   [[nodiscard]] DispatchServeResult serve();
+
+  /// Adaptive mode only. Accepts workers and leases exactly the given
+  /// trial indices until every one has a validated row, then returns the
+  /// exact row bytes in `indices` order (workers stay connected, parked
+  /// on `wait`). Blocking, like serve(); returns a non-empty error if
+  /// serving failed or request_stop() interrupted the batch. Indices
+  /// whose rows arrived in an earlier batch (duplicates, re-leases) are
+  /// answered from the collected set without re-leasing.
+  [[nodiscard]] std::string serve_trials(
+      const std::vector<std::size_t>& indices,
+      std::vector<std::string>& rows_out);
+
+  /// Adaptive mode only: releases the worker fleet (`done` + drain) and
+  /// keeps serving stats polls for Options::linger_s before returning.
+  void finish();
+
+  /// The coordinator's metric registry — the one the `stats` endpoint
+  /// renders. Adaptive callers register their own series here so search
+  /// progress rides `sweep_cli stats --watch` for free.
+  [[nodiscard]] MetricRegistry& registry();
 
   /// Thread-safe: makes a running serve() return at its next poll tick
   /// (<= ~50 ms). Used by tests and signal handlers.

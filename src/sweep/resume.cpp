@@ -1,42 +1,11 @@
 #include "sweep/resume.h"
 
-#include <cstring>
 #include <fstream>
 #include <string_view>
 
+#include "support/fnv.h"
+
 namespace adaptbf {
-
-namespace {
-
-/// FNV-1a 64-bit over typed fields. Strings are length-prefixed so field
-/// boundaries cannot alias; doubles hash their IEEE-754 bits.
-class Fnv1a {
- public:
-  void bytes(const void* data, std::size_t n) {
-    const auto* p = static_cast<const unsigned char*>(data);
-    for (std::size_t i = 0; i < n; ++i) {
-      hash_ ^= p[i];
-      hash_ *= 1099511628211ull;
-    }
-  }
-  void u64(std::uint64_t v) { bytes(&v, sizeof(v)); }
-  void i64(std::int64_t v) { bytes(&v, sizeof(v)); }
-  void f64(double v) {
-    std::uint64_t bits = 0;
-    std::memcpy(&bits, &v, sizeof(bits));
-    u64(bits);
-  }
-  void str(std::string_view s) {
-    u64(s.size());
-    bytes(s.data(), s.size());
-  }
-  [[nodiscard]] std::uint64_t value() const { return hash_; }
-
- private:
-  std::uint64_t hash_ = 1469598103934665603ull;
-};
-
-}  // namespace
 
 bool trial_row_matches(const TrialResult& row,
                        std::span<const TrialSpec> trials) {
@@ -141,6 +110,15 @@ CampaignScan scan_campaign_file(const std::string& path,
         scan.error = "journal '" + path +
                      "' line 1: written for a different campaign grid "
                      "(sweep file changed since the journal started?)";
+        return scan;
+      }
+      if (header.search_step != 0) {
+        // A search journal holds only the trials its probes visited plus
+        // interleaved search_step rows; reading it as a plain campaign
+        // would re-run every unprobed trial and corrupt the step record.
+        scan.error = "journal '" + path +
+                     "' line 1: is a search journal; resume it with "
+                     "'sweep_cli search --resume'";
         return scan;
       }
       if (header.shard != shard) {

@@ -81,6 +81,7 @@ SweepLoadResult load_sweep(std::string_view text, const std::string& base_dir) {
     if (section == "sweep") known = &known_sweep_keys;
     else if (section == "grid") known = &known_grid_keys;
     else if (section == "output") known = &known_output_keys;
+    else if (section == "search") continue;  // search_io.h owns its grammar.
     else return fail("unknown section [" + section + "]");
     for (const auto& key : ini->keys(section))
       if (!known->contains(key))
@@ -166,6 +167,20 @@ SweepLoadResult load_sweep(std::string_view text, const std::string& base_dir) {
   }
 
   SweepLoadResult result;
+  if (ini->has_section("search")) {
+    // Forward the raw entries in file order (duplicate keys included —
+    // the search layer rejects them by name).
+    result.search_section = true;
+    const std::vector<std::string> search_keys = ini->keys("search");
+    for (std::size_t i = 0; i < search_keys.size(); ++i) {
+      const std::string& key = search_keys[i];
+      std::size_t occurrence = 0;
+      for (std::size_t j = 0; j < i; ++j)
+        if (search_keys[j] == key) ++occurrence;
+      result.search_entries.emplace_back(
+          key, ini->get_all("search", key)[occurrence]);
+    }
+  }
   if (auto csv = ini->get("output", "csv")) result.csv_path = *csv;
   if (auto json = ini->get("output", "json")) result.json_path = *json;
   if (auto jsonl = ini->get("output", "jsonl")) result.jsonl_path = *jsonl;

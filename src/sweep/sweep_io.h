@@ -30,6 +30,8 @@
 #include <optional>
 #include <string>
 #include <string_view>
+#include <utility>
+#include <vector>
 
 #include "sweep/sweep_spec.h"
 
@@ -44,6 +46,17 @@ struct SweepLoadResult {
   /// (sweep/trial_sink.h): trials stream to it as they complete and an
   /// interrupted campaign resumes from it (sweep_cli --resume).
   std::string jsonl_path;
+  /// Raw `[search]` entries in file order, untouched — the search layer
+  /// (search/search_io.h) owns their grammar and validation, so the
+  /// sweep loader stays ignorant of search keys. Empty = no [search]
+  /// section; non-empty means the file describes a closed-loop search
+  /// (`sweep_cli search`), not a plain campaign.
+  std::vector<std::pair<std::string, std::string>> search_entries;
+  /// True when the file has a [search] section, even an empty one (an
+  /// empty section is a search-layer validation error, not a plain
+  /// campaign).
+  bool search_section = false;
+  [[nodiscard]] bool has_search() const { return search_section; }
   [[nodiscard]] bool ok() const { return spec.has_value(); }
 };
 

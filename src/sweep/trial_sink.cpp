@@ -132,6 +132,16 @@ std::string campaign_header_line(const CampaignHeader& header) {
     out += ",\"shard_count\":";
     out += std::to_string(header.shard.count);
   }
+  if (header.search_step != 0) {
+    char search_hash[24];
+    std::snprintf(search_hash, sizeof(search_hash), "%016" PRIx64,
+                  header.search_hash);
+    out += ",\"search_step\":";
+    out += std::to_string(header.search_step);
+    out += ",\"search_hash\":\"";
+    out += search_hash;
+    out += '"';
+  }
   out += '}';
   return out;
 }
@@ -154,6 +164,15 @@ bool parse_campaign_header(std::string_view line, CampaignHeader& out) {
     // A stamped shard must be a real slice: K >= 2 and index in range.
     // (K == 1 writes the unsharded form above, never this one.)
     if (out.shard.count < 2 || out.shard.index >= out.shard.count)
+      return false;
+  }
+  if (json_lit(c, ",\"search_step\":")) {
+    // A stamped search journal declares a real generation (0 writes the
+    // plain header above, never this clause).
+    if (!json_parse_u32(c, out.search_step) || out.search_step == 0)
+      return false;
+    if (!json_lit(c, ",\"search_hash\":\"") ||
+        !json_parse_hash16(c, out.search_hash) || !json_lit(c, "\""))
       return false;
   }
   if (!json_lit(c, "}")) return false;

@@ -52,6 +52,14 @@ struct CampaignHeader {
   /// the exact PR 2 header bytes, so pre-shard journals parse unchanged
   /// and merged journals are indistinguishable from single-process ones.
   ShardRef shard;
+  /// Search-journal stamp (search/journal.h). 0 = a plain campaign
+  /// journal, serialized to the exact pre-search header bytes. A search
+  /// journal stamps the step-row format generation (currently 1) plus
+  /// the SearchSpec fingerprint, and interleaves `search_step` rows with
+  /// ordinary trial rows; the plain campaign scanner refuses it by name
+  /// (its trial subset is probe-driven, not the full grid).
+  std::uint32_t search_step = 0;
+  std::uint64_t search_hash = 0;
 };
 
 /// Header line serialization (no trailing newline).

@@ -144,6 +144,69 @@ TEST(HistogramQuantile, EmptyAndInvalidAreNaN) {
   EXPECT_TRUE(std::isnan(histogram_quantile(counter, 0.5)));
 }
 
+TEST(HistogramQuantile, QZeroSkipsEmptyLeadingBuckets) {
+  // q = 0 must land at the lower edge of the first bucket holding mass —
+  // not at the upper bound of a leading bucket that holds nothing.
+  const double bounds[] = {1.0, 2.0, 4.0};
+  const double values[] = {3.0, 3.5};  // All mass in (2, 4].
+  const MetricSample sample = histogram_sample(bounds, values);
+  EXPECT_DOUBLE_EQ(histogram_quantile(sample, 0.0), 2.0);
+}
+
+TEST(HistogramQuantile, SingleBucketMassInterpolatesAcrossThatBucket) {
+  const double bounds[] = {10.0, 20.0, 40.0};
+  const double values[] = {25.0, 30.0, 35.0, 39.0};  // All in (20, 40].
+  const MetricSample sample = histogram_sample(bounds, values);
+  EXPECT_DOUBLE_EQ(histogram_quantile(sample, 0.0), 20.0);
+  EXPECT_DOUBLE_EQ(histogram_quantile(sample, 0.5), 30.0);  // 20 + 20 * 2/4.
+  EXPECT_DOUBLE_EQ(histogram_quantile(sample, 1.0), 40.0);
+  double last = 20.0;
+  for (double q = 0.0; q <= 1.0; q += 0.125) {
+    const double value = histogram_quantile(sample, q);
+    EXPECT_GE(value, last);
+    EXPECT_GE(value, 20.0);
+    EXPECT_LE(value, 40.0);
+    last = value;
+  }
+}
+
+TEST(HistogramQuantile, ExtremeQuantilesHitTheOccupiedEdges) {
+  const double bounds[] = {0.5, 1.0, 2.0, 4.0};
+  const double values[] = {0.25, 0.75, 1.5, 3.0};
+  const MetricSample sample = histogram_sample(bounds, values);
+  EXPECT_DOUBLE_EQ(histogram_quantile(sample, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(histogram_quantile(sample, 1.0), 4.0);
+}
+
+TEST(HistogramQuantile, EstimateSharesABucketWithTheSortedSampleOracle) {
+  // For any q, the interpolated estimate and the true sorted-sample
+  // quantile must land in the SAME bucket: the estimate's bucket is the
+  // first with cumulative >= q*n, and since cumulative counts are
+  // integers that bucket also holds the ceil(q*n)-th sample.
+  const double bounds[] = {0.5, 1.0, 2.0, 4.0};
+  Xoshiro256 rng(0x5eedu);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<double> values;
+    const int n = 1 + static_cast<int>(rng.next_double() * 40.0);
+    for (int i = 0; i < n; ++i)
+      values.push_back(rng.next_double() * 4.0);  // Stay inside the bounds.
+    const MetricSample sample = histogram_sample(bounds, values);
+    std::sort(values.begin(), values.end());
+    for (double q = 0.05; q <= 1.0; q += 0.05) {
+      const double rank = q * static_cast<double>(n);
+      const double oracle =
+          values[std::min<std::size_t>(
+              static_cast<std::size_t>(std::ceil(rank)) - 1, values.size() - 1)];
+      const double estimate = histogram_quantile(sample, q);
+      const std::size_t bucket = reference_bucket(bounds, oracle);
+      const double lo = bucket == 0 ? 0.0 : bounds[bucket - 1];
+      const double hi = bounds[bucket];
+      EXPECT_GE(estimate, lo) << "n=" << n << " q=" << q;
+      EXPECT_LE(estimate, hi) << "n=" << n << " q=" << q;
+    }
+  }
+}
+
 // -------------------------------------------------------------------- ewma
 
 TEST(Ewma, SeedsOnFirstObservation) {

@@ -1,0 +1,309 @@
+// Property tests for the step controllers: 1000 randomized response
+// curves per property, driven through pure-function oracles — no
+// simulator. Every controller must terminate within its step budget and
+// never probe outside the ladder; on clean monotone/unimodal inputs the
+// answer must bracket the true boundary exactly; on noisy inputs the
+// termination and bounds properties must still hold.
+#include "search/controller.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <functional>
+#include <utility>
+#include <vector>
+
+namespace adaptbf {
+namespace {
+
+/// SplitMix64: tiny, deterministic, seedable — the fixture PRNG. (The
+/// repo-wide determinism stance bans wall clocks and ambient entropy;
+/// every curve here derives from the loop index.)
+struct SplitMix64 {
+  std::uint64_t state;
+  explicit SplitMix64(std::uint64_t seed) : state(seed) {}
+  std::uint64_t next() {
+    std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+  /// Uniform in [0, bound).
+  std::uint64_t below(std::uint64_t bound) { return next() % bound; }
+  /// Uniform in (0, 1].
+  double unit() {
+    return static_cast<double>((next() >> 11) + 1) / 9007199254740992.0;
+  }
+};
+
+/// A strictly ascending ladder of `n` rungs with randomized spacing.
+std::vector<double> random_ladder(SplitMix64& rng, std::size_t n) {
+  std::vector<double> ladder;
+  ladder.reserve(n);
+  double value = rng.unit() * 100.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    ladder.push_back(value);
+    value += 0.5 + rng.unit() * 50.0;
+  }
+  return ladder;
+}
+
+/// Index -> score oracle (pure function of the probed ladder index).
+using Oracle = std::function<BenchmarkScore(const ProbeRequest&)>;
+
+BenchmarkScore feasible_score(bool feasible, double objective) {
+  BenchmarkScore score;
+  score.verdict = feasible ? Verdict::kRaise : Verdict::kLower;
+  score.objective = objective;
+  score.worst_margin = feasible ? 1.0 : -1.0;
+  return score;
+}
+
+/// Drives `controller` against `oracle` to completion, asserting the two
+/// universal properties en route: every probe is on the ladder, and the
+/// scored-step count never exceeds `max_steps`. Returns steps fed.
+std::uint32_t drive(StepController& controller, std::uint32_t top_index,
+                    std::uint32_t max_steps, const Oracle& oracle) {
+  // The iteration cap is a test-side watchdog: a controller that neither
+  // finishes nor exhausts its budget would otherwise hang the suite.
+  for (int iteration = 0; iteration < 100000; ++iteration) {
+    const std::vector<ProbeRequest> batch = controller.next_probes();
+    if (batch.empty()) break;
+    for (const ProbeRequest& probe : batch) {
+      EXPECT_LE(probe.input_index, top_index) << "probe off the ladder";
+      EXPECT_GE(probe.repetitions, 1u);
+      controller.feed(probe, oracle(probe));
+      EXPECT_LE(controller.steps_fed(), max_steps) << "budget overrun";
+    }
+  }
+  EXPECT_TRUE(controller.done()) << "controller never finished";
+  return controller.steps_fed();
+}
+
+TEST(BisectionProperty, MonotoneCurvesBracketTheExactThreshold) {
+  for (std::uint64_t curve = 0; curve < 1000; ++curve) {
+    SplitMix64 rng(curve * 0x9e3779b9ULL + 1);
+    const std::size_t n = 2 + rng.below(63);
+    const std::vector<double> ladder = random_ladder(rng, n);
+    // threshold in [-1, n-1]; -1 = nothing feasible, n-1 = all feasible.
+    const std::int64_t threshold =
+        static_cast<std::int64_t>(rng.below(n + 1)) - 1;
+    // 2 endpoint probes + a halving pass always fit this budget.
+    const std::uint32_t budget =
+        4 + 2 * static_cast<std::uint32_t>(std::ceil(std::log2(n)));
+    auto controller = make_bisection_controller(ladder, 1, budget);
+    drive(*controller, static_cast<std::uint32_t>(n - 1), budget,
+          [&](const ProbeRequest& probe) {
+            return feasible_score(
+                static_cast<std::int64_t>(probe.input_index) <= threshold,
+                ladder[probe.input_index]);
+          });
+    EXPECT_FALSE(controller->exhausted()) << "curve " << curve;
+    if (threshold < 0) {
+      EXPECT_FALSE(controller->best_index().has_value()) << "curve " << curve;
+    } else {
+      ASSERT_TRUE(controller->best_index().has_value()) << "curve " << curve;
+      EXPECT_EQ(*controller->best_index(),
+                static_cast<std::uint32_t>(threshold))
+          << "curve " << curve << " n " << n;
+      // Converged bracket: one ladder step (or zero at the endpoints).
+      const std::uint32_t hi = std::min(
+          static_cast<std::uint32_t>(threshold + 1),
+          static_cast<std::uint32_t>(n - 1));
+      EXPECT_LE(controller->bracket_width(),
+                ladder[hi] - ladder[threshold] + 1e-12)
+          << "curve " << curve;
+    }
+  }
+}
+
+TEST(BisectionProperty, NoisyCurvesStillTerminateInBoundsWithinBudget) {
+  for (std::uint64_t curve = 0; curve < 1000; ++curve) {
+    SplitMix64 rng(curve * 0x51ed270bULL + 7);
+    const std::size_t n = 2 + rng.below(63);
+    const std::vector<double> ladder = random_ladder(rng, n);
+    const std::uint32_t budget = 1 + static_cast<std::uint32_t>(rng.below(20));
+    auto controller = make_bisection_controller(ladder, 1, budget);
+    // Fully random feasibility: adversarial for bisection's monotonicity
+    // assumption. The ANSWER may be wrong; the walk must stay legal.
+    SplitMix64 noise(curve + 99);
+    drive(*controller, static_cast<std::uint32_t>(n - 1), budget,
+          [&](const ProbeRequest& probe) {
+            return feasible_score(noise.next() & 1, ladder[probe.input_index]);
+          });
+  }
+}
+
+TEST(GoldenSectionProperty, UnimodalCurvesFindTheMinimumWithinTwoRungs) {
+  for (std::uint64_t curve = 0; curve < 1000; ++curve) {
+    SplitMix64 rng(curve * 0xc2b2ae35ULL + 3);
+    const std::size_t n = 2 + rng.below(63);
+    const std::vector<double> ladder = random_ladder(rng, n);
+    const std::size_t argmin = rng.below(n);
+    // Strictly unimodal objective: V-shaped around argmin with randomized
+    // (but strictly positive) slopes on both sides.
+    const double left = 1.0 + rng.unit() * 9.0;
+    const double right = 1.0 + rng.unit() * 9.0;
+    std::vector<double> objective(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const double distance = i < argmin
+                                  ? left * static_cast<double>(argmin - i)
+                                  : right * static_cast<double>(i - argmin);
+      objective[i] = 10.0 + distance;
+    }
+    // Golden shrinks the bracket by 1/phi per probe after the first two;
+    // this budget is comfortably past its worst case for n <= 64.
+    const std::uint32_t budget =
+        8 + 3 * static_cast<std::uint32_t>(std::ceil(std::log2(n)));
+    auto controller = make_golden_section_controller(ladder, 1, budget);
+    drive(*controller, static_cast<std::uint32_t>(n - 1), budget,
+          [&](const ProbeRequest& probe) {
+            return feasible_score(true, objective[probe.input_index]);
+          });
+    EXPECT_FALSE(controller->exhausted()) << "curve " << curve;
+    ASSERT_TRUE(controller->best_index().has_value()) << "curve " << curve;
+    // While the two golden probes land on distinct rungs the comparison
+    // is sound and the bracket keeps the argmin; once they round to the
+    // SAME rung (bracket < 1/(2*rho - 1) ~ 4.24 rungs) ties shrink left
+    // blind, so the answer can park up to two rungs off the discrete
+    // argmin. Anything further means the bracket logic lost the minimum.
+    const auto best = static_cast<std::int64_t>(*controller->best_index());
+    EXPECT_LE(std::abs(best - static_cast<std::int64_t>(argmin)), 2)
+        << "curve " << curve << " n " << n << " argmin " << argmin;
+  }
+}
+
+TEST(GoldenSectionProperty, NoisyCurvesStillTerminateInBoundsWithinBudget) {
+  for (std::uint64_t curve = 0; curve < 1000; ++curve) {
+    SplitMix64 rng(curve * 0x85ebca6bULL + 11);
+    const std::size_t n = 2 + rng.below(63);
+    const std::vector<double> ladder = random_ladder(rng, n);
+    const std::uint32_t budget = 1 + static_cast<std::uint32_t>(rng.below(24));
+    auto controller = make_golden_section_controller(ladder, 1, budget);
+    SplitMix64 noise(curve ^ 0xabcdefULL);
+    drive(*controller, static_cast<std::uint32_t>(n - 1), budget,
+          [&](const ProbeRequest&) {
+            return feasible_score(true, noise.unit() * 1000.0);
+          });
+  }
+}
+
+TEST(SuccessiveHalvingProperty, DistinctObjectivesCrownTheTrueMinimum) {
+  for (std::uint64_t curve = 0; curve < 1000; ++curve) {
+    SplitMix64 rng(curve * 0x27d4eb2fULL + 5);
+    const std::size_t n = 2 + rng.below(31);
+    const std::vector<double> ladder = random_ladder(rng, n);
+    // A random permutation as the objective landscape: all distinct, so
+    // the survivor must be the global argmin (halving keeps the better
+    // half every round and the minimum is never eliminated).
+    std::vector<double> objective(n);
+    for (std::size_t i = 0; i < n; ++i)
+      objective[i] = static_cast<double>(i) + 1.0;
+    for (std::size_t i = n; i > 1; --i)
+      std::swap(objective[i - 1], objective[rng.below(i)]);
+    const std::size_t argmin = static_cast<std::size_t>(
+        std::min_element(objective.begin(), objective.end()) -
+        objective.begin());
+    // Worst-case total steps: n + n/2 + n/4 + ... < 2n.
+    const std::uint32_t budget = 2 * static_cast<std::uint32_t>(n) + 2;
+    auto controller = make_successive_halving_controller(ladder, 1, budget);
+    const std::uint32_t steps =
+        drive(*controller, static_cast<std::uint32_t>(n - 1), budget,
+              [&](const ProbeRequest& probe) {
+                return feasible_score(true, objective[probe.input_index]);
+              });
+    EXPECT_FALSE(controller->exhausted()) << "curve " << curve;
+    ASSERT_TRUE(controller->best_index().has_value()) << "curve " << curve;
+    EXPECT_EQ(*controller->best_index(), argmin) << "curve " << curve;
+    EXPECT_LE(steps, budget);
+    EXPECT_EQ(controller->bracket_width(), 0.0) << "sole survivor";
+  }
+}
+
+TEST(ControllerProperty, TinyBudgetsExhaustCleanly) {
+  // A budget too small to finish must flip exhausted() — never loop, never
+  // probe past the cap. Halving additionally refuses to START a round it
+  // cannot finish, so its step count stays a round boundary.
+  for (std::uint64_t curve = 0; curve < 1000; ++curve) {
+    SplitMix64 rng(curve * 0x165667b1ULL + 13);
+    const std::size_t n = 4 + rng.below(61);
+    const std::vector<double> ladder = random_ladder(rng, n);
+    const std::uint32_t budget = static_cast<std::uint32_t>(rng.below(3));
+    const auto oracle = [&](const ProbeRequest& probe) {
+      return feasible_score(probe.input_index < n / 2,
+                            ladder[probe.input_index]);
+    };
+    for (int kind = 0; kind < 3; ++kind) {
+      auto controller =
+          kind == 0   ? make_bisection_controller(ladder, 1, budget)
+          : kind == 1 ? make_golden_section_controller(ladder, 1, budget)
+                      : make_successive_halving_controller(ladder, 1, budget);
+      const std::uint32_t steps =
+          drive(*controller, static_cast<std::uint32_t>(n - 1), budget,
+                oracle);
+      EXPECT_LE(steps, budget);
+      EXPECT_TRUE(controller->done());
+      EXPECT_TRUE(controller->exhausted()) << "kind " << kind;
+    }
+  }
+}
+
+TEST(ControllerProperty, ReplayedScoreHistoryReproducesTheProbeSequence) {
+  // The resume backbone: feeding an identical score history into a fresh
+  // controller must reproduce the identical probe sequence, including
+  // when the replay stops mid-batch and the rest is requested live.
+  for (std::uint64_t curve = 0; curve < 300; ++curve) {
+    SplitMix64 rng(curve * 0x9e3779b9ULL + 17);
+    const std::size_t n = 3 + rng.below(30);
+    const std::vector<double> ladder = random_ladder(rng, n);
+    const std::uint32_t budget = 3 * static_cast<std::uint32_t>(n);
+    SplitMix64 noise(curve + 4242);
+    std::vector<std::pair<ProbeRequest, BenchmarkScore>> history;
+    const auto record = [&](const ProbeRequest& probe) {
+      const BenchmarkScore score =
+          feasible_score(noise.next() & 1, noise.unit() * 100.0);
+      history.emplace_back(probe, score);
+      return score;
+    };
+    for (int kind = 0; kind < 3; ++kind) {
+      history.clear();
+      noise = SplitMix64(curve + 4242);
+      const auto make = [&]() {
+        return kind == 0 ? make_bisection_controller(ladder, 1, budget)
+               : kind == 1
+                   ? make_golden_section_controller(ladder, 1, budget)
+                   : make_successive_halving_controller(ladder, 1, budget);
+      };
+      auto original = make();
+      drive(*original, static_cast<std::uint32_t>(n - 1), budget, record);
+
+      // Replay every prefix length; the next probe batch after replay
+      // must match the recorded continuation exactly.
+      for (std::size_t prefix = 0; prefix <= history.size(); ++prefix) {
+        auto replay = make();
+        for (std::size_t i = 0; i < prefix; ++i) {
+          const auto batch = replay->next_probes();
+          ASSERT_FALSE(batch.empty());
+          ASSERT_EQ(batch.front(), history[i].first)
+              << "kind " << kind << " prefix " << prefix << " step " << i;
+          replay->feed(history[i].first, history[i].second);
+        }
+        const auto next = replay->next_probes();
+        if (prefix < history.size()) {
+          ASSERT_FALSE(next.empty());
+          EXPECT_EQ(next.front(), history[prefix].first);
+        } else {
+          EXPECT_TRUE(next.empty());
+          EXPECT_EQ(replay->done(), original->done());
+          EXPECT_EQ(replay->best_index(), original->best_index());
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace adaptbf

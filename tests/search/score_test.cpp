@@ -1,0 +1,143 @@
+// Scoring primitives: the SLO grammar, the verdict bands, and the
+// probe-mean reduction the controllers consume.
+#include "search/score.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "sweep/sweep_runner.h"
+
+namespace adaptbf {
+namespace {
+
+ProbeMetrics metrics_with(double p99, double jain, double mibps) {
+  ProbeMetrics metrics;
+  metrics.p99_ms = p99;
+  metrics.fairness = jain;
+  metrics.mibps = mibps;
+  metrics.p50_ms = p99 / 4.0;
+  metrics.p95_ms = p99 / 2.0;
+  return metrics;
+}
+
+TEST(SloGrammar, ParsesMultiTermExpressions) {
+  const SloParseResult parsed = parse_slo(" p99_ms<=250 , jain>=0.9 ");
+  ASSERT_TRUE(parsed.ok()) << parsed.error;
+  ASSERT_EQ(parsed.thresholds.size(), 2u);
+  EXPECT_EQ(parsed.thresholds[0].metric, SearchMetric::kP99Ms);
+  EXPECT_EQ(parsed.thresholds[0].cmp, Threshold::Cmp::kLe);
+  EXPECT_EQ(parsed.thresholds[0].bound, 250.0);
+  EXPECT_EQ(parsed.thresholds[1].metric, SearchMetric::kFairness);
+  EXPECT_EQ(parsed.thresholds[1].cmp, Threshold::Cmp::kGe);
+  EXPECT_EQ(parsed.thresholds[1].bound, 0.9);
+  EXPECT_EQ(parsed.thresholds[0].str(), "p99_ms<=250");
+  EXPECT_EQ(parsed.thresholds[1].str(), "jain>=0.9");
+}
+
+TEST(SloGrammar, RejectsMalformedExpressionsByName) {
+  EXPECT_FALSE(parse_slo("").ok());
+  EXPECT_FALSE(parse_slo("p99_ms<=250,").ok());          // Trailing term.
+  EXPECT_FALSE(parse_slo("p99_ms=250").ok());            // No comparator.
+  EXPECT_FALSE(parse_slo("p42_ms<=250").ok());           // Unknown metric.
+  EXPECT_FALSE(parse_slo("p99_ms<=fast").ok());          // Bad bound.
+  EXPECT_FALSE(parse_slo("p99_ms<=").ok());              // Empty bound.
+  const SloParseResult unknown = parse_slo("p42_ms<=250");
+  EXPECT_NE(unknown.error.find("p42_ms"), std::string::npos);
+}
+
+TEST(ScoreProbe, VerdictBandsFollowTheNormalizedWorstMargin) {
+  const std::vector<Threshold> slo =
+      parse_slo("p99_ms<=200,jain>=0.8").thresholds;
+  const MetricSpec objective{SearchMetric::kP99Ms};
+
+  // Well under both bounds: headroom beyond the margin -> raise.
+  BenchmarkScore score =
+      score_probe(metrics_with(100.0, 0.95, 500.0), slo, objective, 0.05);
+  EXPECT_EQ(score.verdict, Verdict::kRaise);
+  EXPECT_TRUE(score.feasible());
+
+  // Just inside the p99 bound (margin 195/200 -> 0.025): pass band.
+  score = score_probe(metrics_with(195.0, 0.95, 500.0), slo, objective, 0.05);
+  EXPECT_EQ(score.verdict, Verdict::kPass);
+  EXPECT_TRUE(score.feasible());
+
+  // Latency over the bound: lower, regardless of fairness headroom.
+  score = score_probe(metrics_with(250.0, 0.99, 500.0), slo, objective, 0.05);
+  EXPECT_EQ(score.verdict, Verdict::kLower);
+  EXPECT_FALSE(score.feasible());
+  EXPECT_LT(score.worst_margin, 0.0);
+
+  // Fairness below its >= bound is just as much a violation.
+  score = score_probe(metrics_with(100.0, 0.5, 500.0), slo, objective, 0.05);
+  EXPECT_EQ(score.verdict, Verdict::kLower);
+
+  // The worst margin across terms is the binding one: fairness has huge
+  // headroom but p99 sits exactly on its bound -> margin 0 -> pass.
+  score = score_probe(metrics_with(200.0, 1.0, 500.0), slo, objective, 0.05);
+  EXPECT_EQ(score.verdict, Verdict::kPass);
+  EXPECT_EQ(score.worst_margin, 0.0);
+}
+
+TEST(ScoreProbe, ObjectiveNegatesHigherIsBetterMetrics) {
+  const std::vector<Threshold> slo = parse_slo("p99_ms<=1000").thresholds;
+  const ProbeMetrics metrics = metrics_with(100.0, 0.9, 750.0);
+  EXPECT_EQ(
+      score_probe(metrics, slo, MetricSpec{SearchMetric::kP99Ms}, 0.0)
+          .objective,
+      100.0);
+  // Controllers always minimize: throughput and fairness flip sign.
+  EXPECT_EQ(
+      score_probe(metrics, slo, MetricSpec{SearchMetric::kMibps}, 0.0)
+          .objective,
+      -750.0);
+  EXPECT_EQ(
+      score_probe(metrics, slo, MetricSpec{SearchMetric::kFairness}, 0.0)
+          .objective,
+      -0.9);
+}
+
+TEST(MeanMetrics, AveragesEveryFieldOverRows) {
+  TrialResult a;
+  a.aggregate_mibps = 100.0;
+  a.fairness = 0.8;
+  a.p50_ms = 10.0;
+  a.p95_ms = 20.0;
+  a.p99_ms = 30.0;
+  TrialResult b;
+  b.aggregate_mibps = 300.0;
+  b.fairness = 0.6;
+  b.p50_ms = 30.0;
+  b.p95_ms = 40.0;
+  b.p99_ms = 50.0;
+  const ProbeMetrics mean = mean_metrics({a, b});
+  EXPECT_EQ(mean.mibps, 200.0);
+  EXPECT_EQ(mean.fairness, 0.7);
+  EXPECT_EQ(mean.p50_ms, 20.0);
+  EXPECT_EQ(mean.p95_ms, 30.0);
+  EXPECT_EQ(mean.p99_ms, 40.0);
+  EXPECT_EQ(mean.value_of(SearchMetric::kP99Ms), 40.0);
+  EXPECT_EQ(mean.value_of(SearchMetric::kFairness), 0.7);
+}
+
+TEST(MetricNames, RoundTripThroughTheGrammarNames) {
+  for (const SearchMetric metric :
+       {SearchMetric::kP50Ms, SearchMetric::kP95Ms, SearchMetric::kP99Ms,
+        SearchMetric::kFairness, SearchMetric::kMibps}) {
+    const auto parsed = search_metric_from_name(MetricSpec{metric}.name());
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, metric);
+  }
+  EXPECT_FALSE(search_metric_from_name("latency").has_value());
+  for (const Verdict verdict :
+       {Verdict::kLower, Verdict::kPass, Verdict::kRaise}) {
+    const auto parsed = verdict_from_name(verdict_name(verdict));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, verdict);
+  }
+  EXPECT_FALSE(verdict_from_name("maybe").has_value());
+}
+
+}  // namespace
+}  // namespace adaptbf

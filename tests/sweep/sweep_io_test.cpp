@@ -153,5 +153,48 @@ TEST(SweepIo, NonFiniteTokenRateFails) {
   }
 }
 
+TEST(SweepIo, SearchSectionEntriesForwardedInFileOrder) {
+  // [search] keys are not interpreted here — they are forwarded verbatim
+  // and positionally to search/search_io.h, duplicates included (the
+  // search loader owns rejecting them, with a key-specific message).
+  const auto loaded = load_sweep(R"(
+[sweep]
+policies = adaptive
+scenario = token_allocation
+
+[search]
+controller = bisect
+ladder = 400, 800
+controller = golden
+)");
+  ASSERT_TRUE(loaded.ok()) << loaded.error;
+  EXPECT_TRUE(loaded.has_search());
+  ASSERT_EQ(loaded.search_entries.size(), 3u);
+  EXPECT_EQ(loaded.search_entries[0],
+            (std::pair<std::string, std::string>{"controller", "bisect"}));
+  EXPECT_EQ(loaded.search_entries[1],
+            (std::pair<std::string, std::string>{"ladder", "400, 800"}));
+  EXPECT_EQ(loaded.search_entries[2],
+            (std::pair<std::string, std::string>{"controller", "golden"}));
+}
+
+TEST(SweepIo, EmptySearchSectionStillMarksTheSweepAsASearch) {
+  // The CLI routes on has_search(): an empty [search] heading must still
+  // steer the file to `sweep_cli search` (where the loader will demand
+  // its required keys), not silently run as a plain sweep.
+  const auto loaded = load_sweep(
+      "[sweep]\npolicies = adaptive\nscenario = token_allocation\n"
+      "[search]\n");
+  ASSERT_TRUE(loaded.ok()) << loaded.error;
+  EXPECT_TRUE(loaded.has_search());
+  EXPECT_TRUE(loaded.search_entries.empty());
+}
+
+TEST(SweepIo, SweepWithoutSearchSectionHasNoSearch) {
+  const auto loaded = load_sweep(kMinimal);
+  ASSERT_TRUE(loaded.ok()) << loaded.error;
+  EXPECT_FALSE(loaded.has_search());
+}
+
 }  // namespace
 }  // namespace adaptbf
