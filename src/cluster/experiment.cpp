@@ -38,6 +38,20 @@ std::unique_ptr<IoPattern> build_pattern(const ProcessPattern& pattern) {
 
 }  // namespace
 
+std::size_t estimate_peak_events(const ScenarioSpec& spec) {
+  std::size_t processes = 0;
+  for (const auto& job : spec.jobs) processes += job.processes.size();
+  // Per process: the next pattern release plus one pending event per
+  // inflight RPC (each RPC holds at most one — its current network or
+  // service stage). Per OST: disk completion, token/queue wakeups bounded
+  // by service threads, and a few controller/daemon periodics.
+  const std::size_t per_process = spec.max_inflight_per_process + 2;
+  const std::size_t per_ost = spec.num_threads + 8;
+  const std::size_t estimate =
+      processes * per_process + spec.num_osts * per_ost + 64;
+  return std::max<std::size_t>(estimate, 256);
+}
+
 std::vector<std::pair<JobId, std::string>> ExperimentResult::job_labels()
     const {
   std::vector<std::pair<JobId, std::string>> labels;
@@ -52,12 +66,25 @@ ExperimentResult run_experiment(const ScenarioSpec& spec,
   ADAPTBF_CHECK(spec.duration > SimDuration(0));
   ADAPTBF_CHECK(spec.num_osts > 0);
 
-  Simulator sim;
-  // One event arena serves the whole trial: pre-size it so steady-state
-  // scheduling never grows the pool. Concurrent pending events are bounded
-  // by inflight RPCs + one wakeup/completion/periodic per component, far
-  // below this.
-  sim.reserve_events(4096);
+  Simulator local_sim(
+      Simulator::Config{options.queue_backend, options.batched_dispatch});
+  Simulator* sim_ptr = options.simulator;
+  if (sim_ptr != nullptr) {
+    // Arena reuse: the caller owns a warmed simulator (one per sweep
+    // worker). reset() makes it observationally identical to a fresh one
+    // while keeping every pool at capacity.
+    ADAPTBF_CHECK_MSG(
+        sim_ptr->config().backend == options.queue_backend &&
+            sim_ptr->config().batched_dispatch == options.batched_dispatch,
+        "reused simulator's config must match ExperimentOptions");
+    sim_ptr->reset();
+  } else {
+    sim_ptr = &local_sim;
+  }
+  Simulator& sim = *sim_ptr;
+  // One event arena serves the whole trial, pre-sized from the scenario so
+  // steady-state scheduling never grows the pool.
+  sim.reserve_events(estimate_peak_events(spec));
   if (options.dispatch_hook) sim.set_dispatch_hook(options.dispatch_hook);
 
   // --- Server: OSS hosting num_osts OSTs, one scheduler each ---
@@ -220,6 +247,8 @@ ExperimentResult run_experiment(const ScenarioSpec& spec,
       result.timeline.aggregate_mean_mibps(result.horizon);
   result.total_bytes = result.timeline.total_bytes();
   result.events_dispatched = sim.events_dispatched();
+  result.queue_stats = sim.queue_stats();
+  result.event_pool_slots = sim.event_pool_slots();
   return result;
 }
 

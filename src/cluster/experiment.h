@@ -51,6 +51,12 @@ struct ExperimentResult {
   std::vector<WindowResult> allocation_trace;
 
   std::uint64_t events_dispatched = 0;
+  /// Per-trial event-core counters (reset() zeroes them when a simulator
+  /// is reused across trials, so these never mix trials).
+  EventQueue::Stats queue_stats;
+  /// Event slots the trial's arena ended with — compare against
+  /// estimate_peak_events() to judge the pre-sizing heuristic.
+  std::size_t event_pool_slots = 0;
 
   /// Binary search over the id-sorted `jobs` vector.
   [[nodiscard]] const JobSummary* find_job(JobId id) const {
@@ -73,6 +79,17 @@ struct ExperimentOptions {
   /// event as (fire time, schedule sequence). Used by the golden-trace
   /// tests that pin the exact dispatch order of the paper scenarios.
   Simulator::DispatchHook dispatch_hook;
+  /// Event-queue ordering backend for the trial's simulator. Both backends
+  /// produce bit-identical results; kCalendar targets deep-horizon runs.
+  QueueBackend queue_backend = QueueBackend::kHeap;
+  /// Drain same-timestamp cohorts via pop_batch (default) or one pop per
+  /// event; results are bit-identical either way.
+  bool batched_dispatch = true;
+  /// Optional externally owned simulator to run the trial on, for arena
+  /// reuse across trials: run_experiment calls reset() first, and the
+  /// simulator's Config must match queue_backend/batched_dispatch above.
+  /// nullptr (the default) runs the trial on a private simulator.
+  Simulator* simulator = nullptr;
 
   /// Sweep default: summaries only, no per-window trace.
   [[nodiscard]] static ExperimentOptions without_trace() {
@@ -81,6 +98,14 @@ struct ExperimentOptions {
     return options;
   }
 };
+
+/// Scenario-derived bound on concurrently pending events, used to pre-size
+/// the trial's event arena: per process one arrival/wakeup plus one event
+/// per inflight RPC stage, per OST a disk completion, thread wakeups, and
+/// the control daemon's periodics, plus slack for transients. Replaces the
+/// old hard-coded 4096, which over-reserved small scenarios 30x and
+/// under-reserved million-client ones.
+[[nodiscard]] std::size_t estimate_peak_events(const ScenarioSpec& spec);
 
 /// Runs one scenario to its horizon. Deterministic: equal specs give
 /// bit-identical results.

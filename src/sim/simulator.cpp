@@ -85,19 +85,58 @@ void Simulator::dispatch(EventQueue::Fired& fired) {
   fired.fn();
 }
 
+void Simulator::drain_batch() {
+  queue_.pop_batch();
+  EventQueue::Fired fired;
+  while (queue_.collect_staged(fired)) dispatch(fired);
+}
+
 void Simulator::run_until(SimTime deadline) {
   ADAPTBF_CHECK(deadline >= now_);
   while (!queue_.empty() && queue_.next_time() <= deadline) {
-    auto fired = queue_.pop();
-    dispatch(fired);
+    if (config_.batched_dispatch) {
+      // Every event staged here carries next_time() <= deadline: the whole
+      // cohort shares one timestamp, so the deadline check holds for all.
+      drain_batch();
+    } else {
+      auto fired = queue_.pop();
+      dispatch(fired);
+    }
   }
   now_ = deadline;
 }
 
 void Simulator::run_to_completion() {
   while (!queue_.empty()) {
-    auto fired = queue_.pop();
-    dispatch(fired);
+    if (config_.batched_dispatch) {
+      drain_batch();
+    } else {
+      auto fired = queue_.pop();
+      dispatch(fired);
+    }
+  }
+}
+
+void Simulator::reset() {
+  queue_.reset();
+  now_ = SimTime::zero();
+  dispatched_ = 0;
+  dispatch_hook_ = nullptr;
+  // Keep the periodic pool's storage but stale-ify every slot, exactly as
+  // the event slab does: generations only ever move forward, so periodic
+  // handles from before the reset can never alias a new registration.
+  for (PeriodicSlot& slot : periodics_) {
+    if (slot.live) {
+      slot.live = false;
+      ++slot.generation;
+    }
+    slot.fn = EventCallback();
+    slot.armed = EventHandle{};
+  }
+  periodic_free_head_ = EventHandle::kInvalidIndex;
+  for (std::size_t i = periodics_.size(); i-- > 0;) {
+    periodics_[i].next_free = periodic_free_head_;
+    periodic_free_head_ = static_cast<std::uint32_t>(i);
   }
 }
 

@@ -76,12 +76,14 @@ std::vector<TrialResult> SweepRunner::run(
   Counter* trials_done_metric = nullptr;
   Counter* trials_failed = nullptr;
   Counter* events_total = nullptr;
+  Counter* pool_reallocs = nullptr;
   Histogram* trial_runtime = nullptr;
   if (options_.metrics != nullptr) {
     trials_started = &options_.metrics->counter(kMetricTrialsStarted);
     trials_done_metric = &options_.metrics->counter(kMetricTrialsDone);
     trials_failed = &options_.metrics->counter(kMetricTrialsFailed);
     events_total = &options_.metrics->counter(kMetricEventsDispatched);
+    pool_reallocs = &options_.metrics->counter(kMetricPoolReallocations);
     trial_runtime = &options_.metrics->histogram(kMetricTrialRuntime,
                                                  trial_runtime_bounds_s());
   }
@@ -101,6 +103,15 @@ std::vector<TrialResult> SweepRunner::run(
   // exception, stop claiming trials, and rethrow after the join — already
   // completed (and sunk) trials stay durable.
   auto worker_loop = [&]() {
+    // One simulator per worker, reused across every trial this worker
+    // claims: run_experiment reset()s it, so the event arena and periodic
+    // pool stay warm for the whole lease instead of being rebuilt per
+    // trial. Always substituted — a caller-provided simulator shared by
+    // N workers would violate the single-threaded simulator invariant.
+    Simulator worker_sim(Simulator::Config{
+        options_.experiment.queue_backend, options_.experiment.batched_dispatch});
+    ExperimentOptions experiment = options_.experiment;
+    experiment.simulator = &worker_sim;
     for (;;) {
       if (abort.load(std::memory_order_relaxed)) return;
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
@@ -109,7 +120,7 @@ std::vector<TrialResult> SweepRunner::run(
         if (trials_started != nullptr) trials_started->inc();
         const auto trial_t0 = std::chrono::steady_clock::now();
         const ExperimentResult result =
-            run_experiment(trials[i].spec, options_.experiment);
+            run_experiment(trials[i].spec, experiment);
         if (trial_runtime != nullptr) {
           // Recorded AFTER the experiment returns: the event loop itself
           // is never instrumented (see obs/metrics.h).
@@ -119,6 +130,9 @@ std::vector<TrialResult> SweepRunner::run(
         }
         if (events_total != nullptr)
           events_total->inc(result.events_dispatched);
+        if (pool_reallocs != nullptr &&
+            result.queue_stats.pool_reallocations > 0)
+          pool_reallocs->inc(result.queue_stats.pool_reallocations);
         results[i] = summarize_trial(trials[i], result);
         if (trials_done_metric != nullptr) trials_done_metric->inc();
         if (options_.sink != nullptr || options_.on_trial_done) {

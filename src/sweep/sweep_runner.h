@@ -1,10 +1,13 @@
 // Parallel campaign execution.
 //
-// Trials are embarrassingly parallel: each owns a private single-threaded
-// Simulator, so N workers give linear speedup while every trial stays
-// bit-for-bit deterministic. Workers claim trial indices from an atomic
-// counter and write results into a pre-sized slot vector, so the returned
-// vector is ordered by trial index and identical for any worker count.
+// Trials are embarrassingly parallel: each runs on a single-threaded
+// Simulator confined to one worker, so N workers give linear speedup while
+// every trial stays bit-for-bit deterministic. Each worker keeps ONE
+// simulator for its whole run and reset()s it between trials, so the event
+// arena and periodic pool are warmed once per worker rather than rebuilt
+// per trial. Workers claim trial indices from an atomic counter and write
+// results into a pre-sized slot vector, so the returned vector is ordered
+// by trial index and identical for any worker count.
 #pragma once
 
 #include <cstdint>
@@ -64,6 +67,8 @@ inline constexpr char kMetricTrialRuntime[] =
     "adaptbf_sweep_trial_runtime_seconds";
 inline constexpr char kMetricEventsDispatched[] =
     "adaptbf_sweep_events_dispatched_total";
+inline constexpr char kMetricPoolReallocations[] =
+    "adaptbf_sweep_event_pool_reallocations_total";
 
 class SweepRunner {
  public:
@@ -72,7 +77,10 @@ class SweepRunner {
     std::uint32_t threads = 0;
     /// Per-trial experiment options. The allocation trace defaults OFF for
     /// sweeps (memory ~ jobs x windows x trials would be unbounded on a
-    /// campaign; summaries carry everything the aggregator needs).
+    /// campaign; summaries carry everything the aggregator needs). The
+    /// `simulator` field is ignored: each worker always substitutes its
+    /// own per-worker simulator (sharing one across workers would break
+    /// the single-threaded simulator invariant).
     ExperimentOptions experiment = ExperimentOptions::without_trace();
     /// Called after each trial completes, serialized under a mutex.
     /// `completed` counts finished trials, not the finished trial's index.

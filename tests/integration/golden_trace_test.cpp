@@ -58,7 +58,8 @@ struct TraceRun {
   ExperimentResult result;
 };
 
-TraceRun run_with_trace(const ScenarioSpec& spec) {
+TraceRun run_with_trace(const ScenarioSpec& spec, QueueBackend backend,
+                        bool batched, Simulator* reuse = nullptr) {
   TraceRun run;
   auto mix = [&run](std::uint64_t v) {
     for (int i = 0; i < 8; ++i) {
@@ -68,6 +69,9 @@ TraceRun run_with_trace(const ScenarioSpec& spec) {
   };
   ExperimentOptions options;
   options.capture_allocation_trace = false;
+  options.queue_backend = backend;
+  options.batched_dispatch = batched;
+  options.simulator = reuse;
   options.dispatch_hook = [&mix](SimTime t, std::uint64_t seq) {
     mix(static_cast<std::uint64_t>(t.ns()));
     mix(seq);
@@ -76,14 +80,54 @@ TraceRun run_with_trace(const ScenarioSpec& spec) {
   return run;
 }
 
-TEST(GoldenTrace, PaperScenarioDispatchOrderIsPinned) {
+struct TraceConfig {
+  QueueBackend backend;
+  bool batched;
+};
+
+/// Every queue backend x dispatch mode must reproduce the PR-5 golden
+/// hashes bit-for-bit: the ordering structure and the batching strategy
+/// are pure implementation detail, invisible in the dispatch stream.
+class GoldenTrace : public ::testing::TestWithParam<TraceConfig> {};
+
+TEST_P(GoldenTrace, PaperScenarioDispatchOrderIsPinned) {
   for (const auto& golden : kGolden) {
     const auto control = bw_control_from_name(golden.policy);
     ASSERT_TRUE(control.has_value()) << golden.policy;
-    const auto run = run_with_trace(make_scenario(golden.scenario, *control));
+    const auto run = run_with_trace(make_scenario(golden.scenario, *control),
+                                    GetParam().backend, GetParam().batched);
+    EXPECT_EQ(run.hash, golden.trace_hash)
+        << golden.scenario << " / " << golden.policy << " on "
+        << queue_backend_name(GetParam().backend)
+        << (GetParam().batched ? "/batched" : "/single-pop")
+        << ": dispatch order changed — the determinism contract is broken";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BackendMatrix, GoldenTrace,
+    ::testing::Values(TraceConfig{QueueBackend::kHeap, true},
+                      TraceConfig{QueueBackend::kHeap, false},
+                      TraceConfig{QueueBackend::kCalendar, true},
+                      TraceConfig{QueueBackend::kCalendar, false}),
+    [](const ::testing::TestParamInfo<TraceConfig>& param_info) {
+      return std::string(queue_backend_name(param_info.param.backend)) +
+             (param_info.param.batched ? "_batched" : "_single_pop");
+    });
+
+TEST(GoldenTraceArenaReuse, OneSimulatorAcrossAllRunsReproducesHashes) {
+  // Exactly what a sweep worker does: one simulator, reset() between
+  // trials, pools warm from the previous run. Every run must still hash to
+  // its golden value — reuse may never leak state across trials.
+  Simulator sim;
+  for (const auto& golden : kGolden) {
+    const auto control = bw_control_from_name(golden.policy);
+    ASSERT_TRUE(control.has_value()) << golden.policy;
+    const auto run = run_with_trace(make_scenario(golden.scenario, *control),
+                                    QueueBackend::kHeap, true, &sim);
     EXPECT_EQ(run.hash, golden.trace_hash)
         << golden.scenario << " / " << golden.policy
-        << ": dispatch order changed — the determinism contract is broken";
+        << ": reused-arena dispatch order diverged from a fresh simulator";
   }
 }
 

@@ -1,3 +1,7 @@
+// EventQueue API tests, run over both ordering backends: every observable
+// behavior (fire order, cancel verdicts, handle staleness, counts) must be
+// identical whether the structure underneath is the 4-ary heap or the
+// calendar queue. Batch staging and reset()-reuse get their own sections.
 #include "sim/event_queue.h"
 
 #include <gtest/gtest.h>
@@ -5,19 +9,28 @@
 #include <array>
 #include <cstdint>
 #include <memory>
+#include <utility>
 #include <vector>
+
+#include "support/random.h"
 
 namespace adaptbf {
 namespace {
 
-TEST(EventQueue, EmptyAtStart) {
-  EventQueue queue;
+class EventQueueTest : public ::testing::TestWithParam<QueueBackend> {
+ protected:
+  [[nodiscard]] EventQueue make() const { return EventQueue(GetParam()); }
+};
+
+TEST_P(EventQueueTest, EmptyAtStart) {
+  EventQueue queue = make();
   EXPECT_TRUE(queue.empty());
   EXPECT_EQ(queue.next_time(), SimTime::max());
+  EXPECT_EQ(queue.backend(), GetParam());
 }
 
-TEST(EventQueue, PopsInTimeOrder) {
-  EventQueue queue;
+TEST_P(EventQueueTest, PopsInTimeOrder) {
+  EventQueue queue = make();
   std::vector<int> fired;
   queue.schedule(SimTime(30), [&] { fired.push_back(3); });
   queue.schedule(SimTime(10), [&] { fired.push_back(1); });
@@ -26,8 +39,8 @@ TEST(EventQueue, PopsInTimeOrder) {
   EXPECT_EQ(fired, (std::vector<int>{1, 2, 3}));
 }
 
-TEST(EventQueue, TiesBreakByInsertionOrder) {
-  EventQueue queue;
+TEST_P(EventQueueTest, TiesBreakByInsertionOrder) {
+  EventQueue queue = make();
   std::vector<int> fired;
   for (int i = 0; i < 10; ++i)
     queue.schedule(SimTime(5), [&fired, i] { fired.push_back(i); });
@@ -35,8 +48,8 @@ TEST(EventQueue, TiesBreakByInsertionOrder) {
   for (int i = 0; i < 10; ++i) EXPECT_EQ(fired[static_cast<size_t>(i)], i);
 }
 
-TEST(EventQueue, CancelPreventsFiring) {
-  EventQueue queue;
+TEST_P(EventQueueTest, CancelPreventsFiring) {
+  EventQueue queue = make();
   bool fired = false;
   const EventHandle handle = queue.schedule(SimTime(10), [&] { fired = true; });
   EXPECT_TRUE(queue.cancel(handle));
@@ -44,22 +57,22 @@ TEST(EventQueue, CancelPreventsFiring) {
   EXPECT_FALSE(fired);
 }
 
-TEST(EventQueue, CancelTwiceFails) {
-  EventQueue queue;
+TEST_P(EventQueueTest, CancelTwiceFails) {
+  EventQueue queue = make();
   const EventHandle handle = queue.schedule(SimTime(10), [] {});
   EXPECT_TRUE(queue.cancel(handle));
   EXPECT_FALSE(queue.cancel(handle));
 }
 
-TEST(EventQueue, CancelAfterFireFails) {
-  EventQueue queue;
+TEST_P(EventQueueTest, CancelAfterFireFails) {
+  EventQueue queue = make();
   const EventHandle handle = queue.schedule(SimTime(10), [] {});
   queue.pop().fn();
   EXPECT_FALSE(queue.cancel(handle));
 }
 
-TEST(EventQueue, CancelMiddleKeepsOrder) {
-  EventQueue queue;
+TEST_P(EventQueueTest, CancelMiddleKeepsOrder) {
+  EventQueue queue = make();
   std::vector<int> fired;
   queue.schedule(SimTime(1), [&] { fired.push_back(1); });
   const EventHandle handle =
@@ -70,16 +83,16 @@ TEST(EventQueue, CancelMiddleKeepsOrder) {
   EXPECT_EQ(fired, (std::vector<int>{1, 3}));
 }
 
-TEST(EventQueue, NextTimeSkipsCancelled) {
-  EventQueue queue;
+TEST_P(EventQueueTest, NextTimeSkipsCancelled) {
+  EventQueue queue = make();
   const EventHandle handle = queue.schedule(SimTime(1), [] {});
   queue.schedule(SimTime(5), [] {});
   queue.cancel(handle);
   EXPECT_EQ(queue.next_time(), SimTime(5));
 }
 
-TEST(EventQueue, LiveCountTracksCancellations) {
-  EventQueue queue;
+TEST_P(EventQueueTest, LiveCountTracksCancellations) {
+  EventQueue queue = make();
   const EventHandle a = queue.schedule(SimTime(1), [] {});
   queue.schedule(SimTime(2), [] {});
   EXPECT_EQ(queue.live(), 2u);
@@ -87,24 +100,24 @@ TEST(EventQueue, LiveCountTracksCancellations) {
   EXPECT_EQ(queue.live(), 1u);
 }
 
-TEST(EventQueue, DefaultHandleIsInvalid) {
-  EventQueue queue;
+TEST_P(EventQueueTest, DefaultHandleIsInvalid) {
+  EventQueue queue = make();
   EventHandle handle;
   EXPECT_FALSE(handle.valid());
   EXPECT_FALSE(queue.pending(handle));
   EXPECT_FALSE(queue.cancel(handle));
 }
 
-TEST(EventQueue, PendingTracksLifecycle) {
-  EventQueue queue;
+TEST_P(EventQueueTest, PendingTracksLifecycle) {
+  EventQueue queue = make();
   const EventHandle handle = queue.schedule(SimTime(10), [] {});
   EXPECT_TRUE(queue.pending(handle));
   queue.pop().fn();
   EXPECT_FALSE(queue.pending(handle));
 }
 
-TEST(EventQueue, StaleHandleAgainstReusedSlotFails) {
-  EventQueue queue;
+TEST_P(EventQueueTest, StaleHandleAgainstReusedSlotFails) {
+  EventQueue queue = make();
   const EventHandle first = queue.schedule(SimTime(10), [] {});
   queue.pop().fn();
   // The pool reuses the released slot; the old handle's generation is
@@ -118,8 +131,8 @@ TEST(EventQueue, StaleHandleAgainstReusedSlotFails) {
   EXPECT_TRUE(queue.cancel(second));
 }
 
-TEST(EventQueue, SequencesAssignedInScheduleOrder) {
-  EventQueue queue;
+TEST_P(EventQueueTest, SequencesAssignedInScheduleOrder) {
+  EventQueue queue = make();
   queue.schedule(SimTime(30), [] {});
   queue.schedule(SimTime(10), [] {});
   queue.schedule(SimTime(20), [] {});
@@ -128,8 +141,8 @@ TEST(EventQueue, SequencesAssignedInScheduleOrder) {
   EXPECT_EQ(queue.pop().seq, 0u);
 }
 
-TEST(EventQueue, StatsCountOperations) {
-  EventQueue queue;
+TEST_P(EventQueueTest, StatsCountOperations) {
+  EventQueue queue = make();
   const EventHandle handle = queue.schedule(SimTime(1), [] {});
   queue.schedule(SimTime(2), [] {});
   queue.cancel(handle);
@@ -139,24 +152,29 @@ TEST(EventQueue, StatsCountOperations) {
   EXPECT_EQ(queue.stats().fired, 1u);
 }
 
-TEST(EventQueue, ReserveMakesSteadyStateAllocationFree) {
-  EventQueue queue;
+TEST_P(EventQueueTest, ReserveMakesSteadyStateAllocationFree) {
+  EventQueue queue = make();
   queue.reserve(64);
-  const std::uint64_t reallocations_before = queue.stats().pool_reallocations;
-  // Churn far more events than the reservation, never exceeding 64 live.
-  for (int round = 0; round < 100; ++round) {
+  // One warm-up round first: the calendar's per-bucket vectors size
+  // themselves to the workload's tie pattern on first contact, which is
+  // expected one-time growth, not steady-state churn.
+  const auto churn_round = [&queue] {
     std::vector<EventHandle> handles;
     for (int i = 0; i < 64; ++i)
-      handles.push_back(queue.schedule(SimTime(round * 100 + i), [] {}));
+      handles.push_back(queue.schedule(SimTime(i), [] {}));
     for (int i = 0; i < 32; ++i) queue.cancel(handles[static_cast<size_t>(i)]);
     while (!queue.empty()) queue.pop().fn();
-  }
+  };
+  churn_round();
+  const std::uint64_t reallocations_before = queue.stats().pool_reallocations;
+  // Churn far more events than the reservation, never exceeding 64 live.
+  for (int round = 0; round < 100; ++round) churn_round();
   EXPECT_EQ(queue.stats().pool_reallocations, reallocations_before);
   EXPECT_LE(queue.pool_slots(), 64u);
 }
 
-TEST(EventQueue, OversizedCaptureStillWorksViaHeapFallback) {
-  EventQueue queue;
+TEST_P(EventQueueTest, OversizedCaptureStillWorksViaHeapFallback) {
+  EventQueue queue = make();
   // > kInlineCapacity bytes of captured state must still fire correctly.
   std::array<std::uint64_t, 32> big{};
   big[0] = 7;
@@ -167,8 +185,21 @@ TEST(EventQueue, OversizedCaptureStillWorksViaHeapFallback) {
   EXPECT_EQ(sum, 16u);
 }
 
-TEST(EventQueue, CancelledCallbackStateIsReleased) {
-  EventQueue queue;
+TEST_P(EventQueueTest, HeapSpillsCountedPerQueue) {
+  // The per-queue spill counter sees only this queue's oversized captures
+  // (unlike the deprecated process-wide EventCallback::heap_fallbacks()).
+  EventQueue queue = make();
+  EventQueue other(GetParam());
+  std::array<std::uint64_t, 32> big{};
+  queue.schedule(SimTime(1), [] {});  // inline: no spill
+  EXPECT_EQ(queue.stats().callback_heap_spills, 0u);
+  queue.schedule(SimTime(2), [big] { (void)big; });
+  EXPECT_EQ(queue.stats().callback_heap_spills, 1u);
+  EXPECT_EQ(other.stats().callback_heap_spills, 0u);
+}
+
+TEST_P(EventQueueTest, CancelledCallbackStateIsReleased) {
+  EventQueue queue = make();
   auto token = std::make_shared<int>(42);
   std::weak_ptr<int> watch = token;
   const EventHandle handle = queue.schedule(SimTime(1), [token] {});
@@ -178,8 +209,8 @@ TEST(EventQueue, CancelledCallbackStateIsReleased) {
   EXPECT_TRUE(watch.expired());  // cancel destroys the captured state
 }
 
-TEST(EventQueue, StressManyRandomOrderings) {
-  EventQueue queue;
+TEST_P(EventQueueTest, StressManyRandomOrderings) {
+  EventQueue queue = make();
   std::vector<std::int64_t> fired;
   // Insert with a scrambled deterministic pattern.
   for (std::int64_t i = 0; i < 1000; ++i) {
@@ -194,6 +225,213 @@ TEST(EventQueue, StressManyRandomOrderings) {
     event.fn();
   }
   EXPECT_EQ(fired.size(), 1000u);
+}
+
+// ---------------------------------------------------------- batch staging
+
+TEST_P(EventQueueTest, PopBatchDrainsExactlyTheEarliestCohort) {
+  EventQueue queue = make();
+  std::vector<int> fired;
+  for (int i = 0; i < 5; ++i)
+    queue.schedule(SimTime(10), [&fired, i] { fired.push_back(i); });
+  queue.schedule(SimTime(20), [&fired] { fired.push_back(99); });
+  ASSERT_EQ(queue.pop_batch(), 5u);
+  EXPECT_EQ(queue.live(), 6u);  // staged events are still pending
+  EventQueue::Fired out;
+  while (queue.collect_staged(out)) out.fn();
+  EXPECT_EQ(fired, (std::vector<int>{0, 1, 2, 3, 4}));
+  EXPECT_EQ(queue.live(), 1u);
+  EXPECT_EQ(queue.next_time(), SimTime(20));
+}
+
+TEST_P(EventQueueTest, PopBatchOfOneMatchesPop) {
+  EventQueue queue = make();
+  queue.schedule(SimTime(7), [] {});
+  ASSERT_EQ(queue.pop_batch(), 1u);
+  EventQueue::Fired out;
+  ASSERT_TRUE(queue.collect_staged(out));
+  EXPECT_EQ(out.time, SimTime(7));
+  EXPECT_EQ(out.seq, 0u);
+  EXPECT_FALSE(queue.collect_staged(out));
+  EXPECT_TRUE(queue.empty());
+}
+
+TEST_P(EventQueueTest, CancelDuringBatchPreventsStagedEventFromFiring) {
+  // An event dispatched early in a batch cancels a same-timestamp event
+  // staged behind it — the staged event must not fire, exactly as under
+  // single pops.
+  EventQueue queue = make();
+  std::vector<int> fired;
+  EventHandle second;
+  queue.schedule(SimTime(10), [&] {
+    fired.push_back(0);
+    EXPECT_TRUE(queue.cancel(second));
+  });
+  second = queue.schedule(SimTime(10), [&] { fired.push_back(1); });
+  queue.schedule(SimTime(10), [&] { fired.push_back(2); });
+  ASSERT_EQ(queue.pop_batch(), 3u);
+  EventQueue::Fired out;
+  while (queue.collect_staged(out)) out.fn();
+  EXPECT_EQ(fired, (std::vector<int>{0, 2}));
+  EXPECT_EQ(queue.stats().cancelled, 1u);
+  EXPECT_EQ(queue.stats().fired, 2u);
+  EXPECT_TRUE(queue.empty());
+}
+
+TEST_P(EventQueueTest, ScheduleDuringBatchJoinsTheStructureNotTheBatch) {
+  // A same-time event scheduled while collecting lands in the ordering
+  // structure (it has a later sequence number than everything staged), so
+  // it fires in the NEXT batch — the same order single pops produce.
+  EventQueue queue = make();
+  std::vector<int> fired;
+  queue.schedule(SimTime(10), [&] {
+    fired.push_back(0);
+    queue.schedule(SimTime(10), [&] { fired.push_back(9); });
+  });
+  queue.schedule(SimTime(10), [&] { fired.push_back(1); });
+  ASSERT_EQ(queue.pop_batch(), 2u);
+  EventQueue::Fired out;
+  while (queue.collect_staged(out)) out.fn();
+  EXPECT_EQ(fired, (std::vector<int>{0, 1}));
+  ASSERT_EQ(queue.pop_batch(), 1u);
+  while (queue.collect_staged(out)) out.fn();
+  EXPECT_EQ(fired, (std::vector<int>{0, 1, 9}));
+}
+
+TEST_P(EventQueueTest, CancelledStagedCallbackStateIsReleased) {
+  EventQueue queue = make();
+  auto token = std::make_shared<int>(42);
+  std::weak_ptr<int> watch = token;
+  const EventHandle handle = queue.schedule(SimTime(1), [token] {});
+  token.reset();
+  ASSERT_EQ(queue.pop_batch(), 1u);
+  EXPECT_TRUE(queue.pending(handle));  // staged, not yet collected
+  EXPECT_TRUE(queue.cancel(handle));
+  EXPECT_TRUE(watch.expired());  // cancel destroys the staged state
+  EventQueue::Fired out;
+  EXPECT_FALSE(queue.collect_staged(out));
+  EXPECT_TRUE(queue.empty());
+}
+
+// ----------------------------------------------------------- reset reuse
+
+TEST_P(EventQueueTest, ResetDropsPendingAndRewindsSequences) {
+  EventQueue queue = make();
+  bool fired = false;
+  const EventHandle handle = queue.schedule(SimTime(5), [&] { fired = true; });
+  queue.schedule(SimTime(6), [] {});
+  queue.reset();
+  EXPECT_TRUE(queue.empty());
+  EXPECT_FALSE(queue.pending(handle));
+  EXPECT_FALSE(queue.cancel(handle));  // stale, not aliased
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(queue.stats().scheduled, 0u);
+  // Sequences restart at zero, exactly like a fresh queue.
+  queue.schedule(SimTime(1), [] {});
+  EXPECT_EQ(queue.pop().seq, 0u);
+}
+
+TEST_P(EventQueueTest, ResetReleasesPendingCallbackState) {
+  EventQueue queue = make();
+  auto token = std::make_shared<int>(1);
+  std::weak_ptr<int> watch = token;
+  queue.schedule(SimTime(5), [token] {});
+  token.reset();
+  ASSERT_FALSE(watch.expired());
+  queue.reset();
+  EXPECT_TRUE(watch.expired());
+}
+
+TEST_P(EventQueueTest, ResetReleasesUncollectedStagedEvents) {
+  EventQueue queue = make();
+  auto token = std::make_shared<int>(1);
+  std::weak_ptr<int> watch = token;
+  queue.schedule(SimTime(5), [token] {});
+  queue.schedule(SimTime(5), [] {});
+  token.reset();
+  ASSERT_EQ(queue.pop_batch(), 2u);
+  queue.reset();  // mid-batch reset: staged events are dropped too
+  EXPECT_TRUE(watch.expired());
+  EXPECT_TRUE(queue.empty());
+  EventQueue::Fired out;
+  EXPECT_FALSE(queue.collect_staged(out));
+}
+
+TEST_P(EventQueueTest, ResetKeepsStorageWarm) {
+  EventQueue queue = make();
+  const auto fill_and_drain = [&queue] {
+    for (int i = 0; i < 200; ++i) queue.schedule(SimTime(i % 17), [] {});
+    while (!queue.empty()) queue.pop().fn();
+  };
+  fill_and_drain();
+  queue.reset();
+  // The second identical round must not grow any storage: the slab, the
+  // ordering structure, and the staging scratch all survived the reset.
+  fill_and_drain();
+  EXPECT_EQ(queue.stats().pool_reallocations, 0u);
+}
+
+/// Randomized property: a reset queue is observationally identical to a
+/// fresh one — the same operation sequence produces the same (time, seq)
+/// fire trace, cancel verdicts, and counts, no matter what ran before the
+/// reset.
+TEST_P(EventQueueTest, ResetQueueTracesIdenticallyToFreshQueue) {
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    EventQueue reused = make();
+    // Arbitrary pre-history, abandoned mid-flight (pending events left).
+    Xoshiro256 pre(seed * 977);
+    std::vector<EventHandle> pre_handles;
+    for (int i = 0; i < 300; ++i) {
+      pre_handles.push_back(reused.schedule(
+          SimTime(static_cast<std::int64_t>(pre.next_in(0, 99))), [] {}));
+      if (pre.next_in(0, 2) == 0) reused.pop().fn();
+      if (pre.next_in(0, 3) == 0)
+        reused.cancel(pre_handles[pre.next_in(0, pre_handles.size() - 1)]);
+    }
+    reused.reset();
+
+    EventQueue fresh = make();
+    const auto run_ops = [](EventQueue& queue, std::uint64_t op_seed) {
+      // (time, seq) trace plus verdict/count observations.
+      std::vector<std::pair<std::int64_t, std::uint64_t>> trace;
+      Xoshiro256 rng(op_seed);
+      std::vector<EventHandle> handles;
+      for (int op = 0; op < 500; ++op) {
+        const std::uint64_t roll = rng.next_in(0, 9);
+        if (roll < 6 || queue.empty()) {
+          handles.push_back(queue.schedule(
+              SimTime(static_cast<std::int64_t>(rng.next_in(0, 49))), [] {}));
+        } else if (roll < 8) {
+          const bool verdict =
+              queue.cancel(handles[rng.next_in(0, handles.size() - 1)]);
+          trace.emplace_back(-1, verdict ? 1 : 0);
+        } else {
+          const auto fired = queue.pop();
+          trace.emplace_back(fired.time.ns(), fired.seq);
+        }
+        trace.emplace_back(-2, queue.live());
+      }
+      while (!queue.empty()) {
+        const auto fired = queue.pop();
+        trace.emplace_back(fired.time.ns(), fired.seq);
+      }
+      return trace;
+    };
+    EXPECT_EQ(run_ops(reused, seed), run_ops(fresh, seed))
+        << "reset()-reuse trace diverged from fresh queue, seed " << seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, EventQueueTest,
+                         ::testing::Values(QueueBackend::kHeap,
+                                           QueueBackend::kCalendar),
+                         [](const ::testing::TestParamInfo<QueueBackend>& param_info) {
+                           return queue_backend_name(param_info.param);
+                         });
+
+TEST(QueueBackendName, Tokens) {
+  EXPECT_STREQ(queue_backend_name(QueueBackend::kHeap), "heap");
+  EXPECT_STREQ(queue_backend_name(QueueBackend::kCalendar), "calendar");
 }
 
 }  // namespace

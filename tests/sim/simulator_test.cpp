@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <utility>
 #include <vector>
 
 namespace adaptbf {
@@ -183,6 +185,98 @@ TEST(Simulator, ManyPeriodicsReuseSlots) {
     sim.cancel_periodic(handle);
   }
   EXPECT_EQ(fired, 150);
+}
+
+// ----------------------------------------------- dispatch modes & backends
+
+/// Runs a tie-heavy workload (periodics with a common divisor plus bursts
+/// of same-time one-shots, some self-cancelling) and records the (time,
+/// seq) dispatch trace via the hook.
+std::vector<std::pair<std::int64_t, std::uint64_t>> run_traced(
+    Simulator::Config config) {
+  Simulator sim(config);
+  std::vector<std::pair<std::int64_t, std::uint64_t>> trace;
+  sim.set_dispatch_hook([&trace](SimTime time, std::uint64_t seq) {
+    trace.emplace_back(time.ns(), seq);
+  });
+  sim.schedule_periodic(SimDuration(10), [] {});
+  sim.schedule_periodic(SimDuration(20), [] {});
+  EventHandle victim;
+  sim.schedule_at(SimTime(40), [&] {
+    // Cancels a same-timestamp event scheduled behind it.
+    EXPECT_TRUE(sim.cancel(victim));
+    sim.schedule_after(SimDuration(0), [] {});  // same-time re-schedule
+  });
+  victim = sim.schedule_at(SimTime(40), [] {});
+  for (int i = 0; i < 8; ++i) sim.schedule_at(SimTime(60), [] {});
+  sim.run_until(SimTime(100));
+  EXPECT_EQ(sim.events_dispatched(), trace.size());
+  return trace;
+}
+
+TEST(Simulator, DispatchTraceIdenticalAcrossModesAndBackends) {
+  const auto reference = run_traced(
+      Simulator::Config{QueueBackend::kHeap, /*batched_dispatch=*/false});
+  EXPECT_EQ(run_traced(Simulator::Config{QueueBackend::kHeap, true}),
+            reference);
+  EXPECT_EQ(run_traced(Simulator::Config{QueueBackend::kCalendar, false}),
+            reference);
+  EXPECT_EQ(run_traced(Simulator::Config{QueueBackend::kCalendar, true}),
+            reference);
+}
+
+TEST(Simulator, BatchedCancelOfSameTimestampEventIsHonored) {
+  Simulator sim;  // batched by default
+  ASSERT_TRUE(sim.config().batched_dispatch);
+  bool victim_fired = false;
+  EventHandle victim;
+  sim.schedule_at(SimTime(10), [&] { ASSERT_TRUE(sim.cancel(victim)); });
+  victim = sim.schedule_at(SimTime(10), [&] { victim_fired = true; });
+  sim.run_to_completion();
+  EXPECT_FALSE(victim_fired);
+  EXPECT_EQ(sim.events_dispatched(), 1u);
+}
+
+TEST(Simulator, ResetRestoresFreshObservableState) {
+  Simulator sim;
+  bool stale_fired = false;
+  sim.schedule_at(SimTime(50), [&] { stale_fired = true; });
+  const auto periodic = sim.schedule_periodic(SimDuration(10), [] {});
+  sim.run_until(SimTime(25));
+  sim.reset();
+  EXPECT_EQ(sim.now(), SimTime::zero());
+  EXPECT_EQ(sim.events_dispatched(), 0u);
+  EXPECT_TRUE(sim.idle());
+  sim.cancel_periodic(periodic);  // stale: must be a harmless no-op
+  sim.run_until(SimTime(200));
+  EXPECT_FALSE(stale_fired);
+  EXPECT_EQ(sim.events_dispatched(), 0u);
+}
+
+TEST(Simulator, ReusedSimulatorTracesIdenticallyToFreshOne) {
+  const auto workload = [](Simulator& sim) {
+    std::vector<std::pair<std::int64_t, std::uint64_t>> trace;
+    sim.set_dispatch_hook([&trace](SimTime time, std::uint64_t seq) {
+      trace.emplace_back(time.ns(), seq);
+    });
+    const auto periodic =
+        sim.schedule_periodic(SimDuration(7), [] {});
+    for (int i = 0; i < 20; ++i)
+      sim.schedule_at(SimTime(3 * (i % 5) + 1), [] {});
+    sim.run_until(SimTime(90));
+    sim.cancel_periodic(periodic);
+    sim.run_to_completion();
+    return trace;
+  };
+  Simulator reused;
+  // Pre-history: abandoned mid-run with events and a periodic pending.
+  reused.schedule_periodic(SimDuration(3), [] {});
+  for (int i = 0; i < 40; ++i) reused.schedule_at(SimTime(100 + i), [] {});
+  reused.run_until(SimTime(80));
+  reused.reset();
+
+  Simulator fresh;
+  EXPECT_EQ(workload(reused), workload(fresh));
 }
 
 }  // namespace
